@@ -1,0 +1,144 @@
+// Regenerates Figure 12:
+//  12a — blocks delivered per cycle under an agent failure (cycle 10) and a
+//        full controller outage (cycles 20-30, decentralized fallback);
+//  12b — per-DC completion time with 2 MB vs 64 MB blocks (paper: 2 MB is
+//        1.5-2x faster);
+//  12c — completion time vs update-cycle length 0.5-95 s (paper: knee at 3 s).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/service.h"
+#include "src/topology/builders.h"
+
+namespace bds {
+namespace {
+
+std::unique_ptr<BdsService> MakeService(BdsOptions options, int dcs = 4, int servers = 4,
+                                        Rate nic = MBps(20.0)) {
+  GeoTopologyOptions topo_options;
+  topo_options.num_dcs = dcs;
+  topo_options.servers_per_dc = servers;
+  topo_options.server_up = nic;
+  topo_options.server_down = nic;
+  topo_options.wan_capacity = Gbps(8.0);
+  Topology topo = BuildGeoTopology(topo_options).value();
+  return BdsService::Create(std::move(topo), options).value();
+}
+
+void Fig12a() {
+  bench::PrintHeader("Figure 12a", "blocks delivered per cycle under failures",
+                     "agent fails at cycle 10; controller down cycles 20-30 "
+                     "(paper: same script; fallback = decentralized protocol)");
+  BdsOptions options;
+  options.cycle_length = 1.0;
+  auto service = MakeService(options);
+  BDS_CHECK(service->CreateJob(0, {1, 2, 3}, GB(1.6)).ok());
+  // Failure script in cycle units (1 s cycles).
+  ServerId victim = service->topology().ServersIn(1)[0];
+  service->InjectServerFailure(victim, 10.0);
+  service->InjectControllerOutage(20.0, 30.0);
+  auto report = service->Run(Hours(1.0));
+  BDS_CHECK(report.ok());
+
+  AsciiTable table({"cycle", "mode", "blocks delivered"});
+  for (const CycleStats& c : report->cycles) {
+    if (c.cycle > 45) {
+      break;
+    }
+    std::string note = c.controller_up ? "centralized" : "fallback";
+    if (c.cycle == 10) {
+      note += " (agent fails)";
+    }
+    if (c.cycle == 20) {
+      note += " (controller fails)";
+    }
+    if (c.cycle == 30) {
+      note += " (controller back)";
+    }
+    table.AddRow({std::to_string(c.cycle), note, std::to_string(c.blocks_delivered)});
+  }
+  table.Print();
+
+  auto mean_delivered = [&](int64_t from, int64_t to) {
+    int64_t sum = 0;
+    int64_t n = 0;
+    for (const CycleStats& c : report->cycles) {
+      if (c.cycle >= from && c.cycle < to) {
+        sum += c.blocks_delivered;
+        ++n;
+      }
+    }
+    return n > 0 ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
+  };
+  std::printf("mean deliveries/cycle: normal %.1f | after agent failure %.1f | "
+              "fallback %.1f | recovered %.1f\n",
+              mean_delivered(0, 10), mean_delivered(11, 20), mean_delivered(20, 30),
+              mean_delivered(30, 45));
+  std::printf("shape check: fallback degrades gracefully (> 0) and recovery restores "
+              "centralized throughput (paper Fig 12a)\n");
+}
+
+void Fig12b() {
+  bench::PrintHeader("Figure 12b", "per-DC completion time: 2 MB vs 64 MB blocks",
+                     "1.6 GB to 9 destination DCs (paper: 2 MB blocks 1.5-2x faster)");
+  AsciiTable table({"destination DC", "2 MB/blk (m)", "64 MB/blk (m)", "ratio"});
+  std::vector<double> small_times;
+  std::vector<double> big_times;
+  for (Bytes block : {MB(2.0), MB(64.0)}) {
+    BdsOptions options;
+    options.block_size = block;
+    options.cycle_length = 3.0;
+    auto service = MakeService(options, /*dcs=*/10, /*servers=*/4);
+    std::vector<DcId> dests;
+    for (DcId d = 1; d < 10; ++d) {
+      dests.push_back(d);
+    }
+    BDS_CHECK(service->CreateJob(0, dests, GB(1.6)).ok());
+    auto report = service->Run(Hours(4.0));
+    BDS_CHECK(report.ok() && report->completed);
+    auto& out = block == MB(2.0) ? small_times : big_times;
+    for (DcId d = 1; d < 10; ++d) {
+      out.push_back(ToMinutes(report->dc_completion.at(d)));
+    }
+  }
+  for (size_t i = 0; i < small_times.size(); ++i) {
+    table.AddRow({"dc" + std::to_string(i + 1), AsciiTable::Num(small_times[i], 1),
+                  AsciiTable::Num(big_times[i], 1),
+                  AsciiTable::Num(big_times[i] / small_times[i], 2) + "x"});
+  }
+  table.Print();
+}
+
+void Fig12c() {
+  bench::PrintHeader("Figure 12c", "completion time vs update-cycle length",
+                     "one 1.6 GB fan-out per cycle length, control-plane latency charged "
+                     "(paper: 0.5-95 s sweep; benefit flattens below ~3 s)");
+  AsciiTable table({"cycle length (s)", "completion (m)"});
+  for (double cycle : {0.5, 1.0, 3.0, 10.0, 30.0, 60.0, 95.0}) {
+    BdsOptions options;
+    options.cycle_length = cycle;
+    options.model_decision_latency = true;  // Updating too often costs overhead.
+    auto service = MakeService(options);
+    BDS_CHECK(service->CreateJob(0, {1, 2, 3}, GB(1.6)).ok());
+    auto report = service->Run(Hours(12.0));
+    BDS_CHECK(report.ok() && report->completed);
+    table.AddRow({AsciiTable::Num(cycle, 1), AsciiTable::Num(ToMinutes(report->completion_time), 2)});
+  }
+  table.Print();
+  std::printf("shape check: completion grows with cycle length; gains diminish below ~3 s\n");
+}
+
+void Run() {
+  Fig12a();
+  Fig12b();
+  Fig12c();
+}
+
+}  // namespace
+}  // namespace bds
+
+int main() {
+  bds::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Regenerates Figure 6: the two-day utilization timeseries of an inter-DC
+// link carrying diurnal latency-sensitive traffic, where an uncontrolled
+// 6-hour bulk transfer on day 2 pushes utilization past the 80 % safety
+// threshold and inflates online latency ~30x. The same transfer run through
+// BDS's bandwidth separation stays below the threshold.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/simulator/network_simulator.h"
+#include "src/topology/builders.h"
+#include "src/topology/path.h"
+#include "src/workload/background_traffic.h"
+
+namespace bds {
+namespace {
+
+constexpr double kThreshold = 0.8;
+
+// Simulates two days of one WAN link: online diurnal traffic, plus a bulk
+// flow from hour 35 to 41. `managed` caps the bulk rate at the residual
+// below the threshold (what BDS's separator enforces); unmanaged grabs
+// whatever the link has left.
+void RunDay(bool managed, TimeSeries& util_series, double& worst_inflation) {
+  auto topo = BuildFullMesh(2, 2, Gbps(10.0), GBps(2.0), GBps(2.0)).value();
+  LinkId wan = kInvalidLink;
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (topo.link(l).type == LinkType::kWan) {
+      wan = l;
+      break;
+    }
+  }
+  BackgroundTrafficModel::Options bg_options;
+  bg_options.mean_utilization = 0.45;
+  bg_options.diurnal_amplitude = 0.25;
+  bg_options.noise = 0.02;
+  BackgroundTrafficModel bg(&topo, bg_options);
+
+  const double kStep = 600.0;  // 10-minute samples.
+  worst_inflation = 1.0;
+  for (double t = 0.0; t < 2.0 * 86400.0; t += kStep) {
+    double online = bg.RateAt(wan, t) / topo.link(wan).capacity;
+    double bulk = 0.0;
+    bool bulk_active = t >= 35.0 * 3600.0 && t < 41.0 * 3600.0;
+    if (bulk_active) {
+      if (managed) {
+        bulk = std::max(0.0, kThreshold - online);
+      } else {
+        // Unmanaged bulk: consumes nearly all remaining capacity (greedy
+        // many-connection TCP fan-in, as in the paper's incident).
+        bulk = std::max(0.0, 0.993 - online);
+      }
+    }
+    double total = online + bulk;
+    util_series.Add(t / 3600.0, total);
+    worst_inflation = std::max(worst_inflation,
+                               BackgroundTrafficModel::LatencyInflation(total, kThreshold));
+  }
+}
+
+void Run() {
+  bench::PrintHeader("Figure 6", "inter-DC link utilization over two days",
+                     "diurnal online traffic + 6 h bulk transfer starting hour 35 "
+                     "(paper: production incident, 30x latency inflation)");
+
+  TimeSeries unmanaged("unmanaged");
+  double unmanaged_inflation = 0.0;
+  RunDay(/*managed=*/false, unmanaged, unmanaged_inflation);
+
+  TimeSeries managed("bds");
+  double managed_inflation = 0.0;
+  RunDay(/*managed=*/true, managed, managed_inflation);
+
+  AsciiTable table({"hour", "util (no control)", "util (BDS separation)", "threshold"});
+  for (double hour = 30.0; hour <= 44.0; hour += 2.0) {
+    auto pick = [&](const TimeSeries& ts) {
+      auto points = ts.Resample(hour, hour, 1.0);
+      return points.empty() ? 0.0 : points[0].value;
+    };
+    table.AddRow({AsciiTable::Num(hour, 0), AsciiTable::Num(pick(unmanaged), 2),
+                  AsciiTable::Num(pick(managed), 2), AsciiTable::Num(kThreshold, 2)});
+  }
+  table.Print();
+  std::printf("worst online-latency inflation without control: %.0fx (paper: 30x)\n",
+              unmanaged_inflation);
+  std::printf("worst online-latency inflation with BDS:        %.1fx (target: ~1x)\n",
+              managed_inflation);
+  std::printf("peak utilization: unmanaged %.2f vs BDS %.2f (threshold %.2f)\n",
+              unmanaged.MaxValue(), managed.MaxValue(), kThreshold);
+}
+
+}  // namespace
+}  // namespace bds
+
+int main() {
+  bds::Run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates Table 1 (multicast share of inter-DC traffic per application)
+// and Figure 2 (destination-fraction CDF, transfer-size CDF) from the
+// synthetic 7-day trace calibrated to the paper's published aggregates.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/workload/trace_generator.h"
+
+namespace bds {
+namespace {
+
+void Run() {
+  TraceGeneratorOptions options;
+  options.num_dcs = 30;
+  options.num_transfers = 1265;  // The paper's measurement window.
+  TraceGenerator generator(options);
+  auto trace = generator.Generate();
+  BDS_CHECK(trace.ok());
+  TraceStats stats = trace->ComputeStats(options.num_dcs);
+
+  bench::PrintHeader("Table 1", "inter-DC multicast share of inter-DC traffic",
+                     "synthetic 7-day trace, 30 DCs, 1265 multicast transfers "
+                     "(paper: same window; traffic shares calibrated to Table 1)");
+  AsciiTable table1({"type of application", "% of multicast traffic (measured)", "paper"});
+  table1.AddRow({"all applications", AsciiTable::Num(stats.multicast_byte_share * 100.0, 2) + "%",
+                 "91.13%"});
+  auto paper_share = [](const std::string& app) {
+    for (const AppProfile& p : BaiduAppMix()) {
+      if (p.name == app) {
+        return p.multicast_share * 100.0;
+      }
+    }
+    return 0.0;
+  };
+  for (const auto& [app, share] : stats.per_app_multicast_share) {
+    table1.AddRow({app, AsciiTable::Num(share * 100.0, 2) + "%",
+                   AsciiTable::Num(paper_share(app), 2) + "%"});
+  }
+  table1.Print();
+
+  bench::PrintHeader("Figure 2a", "proportion of multicast transfers destined to % of DCs",
+                     "paper anchors: 90% of transfers reach >= 60% of DCs, 70% reach >= 80%");
+  EmpiricalDistribution dest;
+  dest.AddAll(stats.dest_fraction);
+  bench::PrintCdf("fraction of DCs", dest, 10);
+  std::printf("check: P(fraction >= 0.6) = %.2f (paper 0.90), P(>= 0.8) = %.2f (paper 0.70)\n",
+              1.0 - dest.CdfAt(0.6 - 1e-9), 1.0 - dest.CdfAt(0.8 - 1e-9));
+
+  bench::PrintHeader("Figure 2b", "proportion of multicast transfers larger than threshold",
+                     "paper anchors: 60% of transfers > 1 TB, 90% > 50 GB");
+  EmpiricalDistribution sizes;
+  for (double s : stats.multicast_sizes) {
+    sizes.Add(s / 1e12);  // TB
+  }
+  bench::PrintCdf("size (TB)", sizes, 10);
+  std::printf("check: P(size > 1 TB) = %.2f (paper 0.60), P(size > 50 GB) = %.2f (paper 0.90)\n",
+              1.0 - sizes.CdfAt(1.0), 1.0 - sizes.CdfAt(0.05));
+}
+
+}  // namespace
+}  // namespace bds
+
+int main() {
+  bds::Run();
+  return 0;
+}

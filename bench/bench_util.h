@@ -1,0 +1,60 @@
+// Shared helpers for the per-figure/table benchmark binaries.
+//
+// Every bench prints: a header naming the paper artifact it regenerates, a
+// scale note describing how the scenario was shrunk from the paper's
+// deployment (ratios preserved), and the same rows/series the paper reports.
+
+#ifndef BDS_BENCH_BENCH_UTIL_H_
+#define BDS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/strategy.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+#include "src/workload/job.h"
+
+namespace bds {
+namespace bench {
+
+inline void PrintHeader(const std::string& artifact, const std::string& title,
+                        const std::string& scale_note) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), title.c_str());
+  if (!scale_note.empty()) {
+    std::printf("scale: %s\n", scale_note.c_str());
+  }
+  std::printf("==============================================================\n");
+}
+
+// Prints a CDF as "value  F(value)" rows, matching the paper's CDF figures.
+inline void PrintCdf(const std::string& x_label, const EmpiricalDistribution& dist,
+                     int points = 10) {
+  AsciiTable table({x_label, "CDF"});
+  for (const auto& p : dist.CdfSeries(points)) {
+    table.AddRow({AsciiTable::Num(p.x, 2), AsciiTable::Num(p.cdf, 2)});
+  }
+  table.Print();
+}
+
+// Runs `strategy` on (topo, routing, job); returns minutes or a negative
+// value on failure. Appends a row to `table` when non-null.
+inline double RunStrategyMinutes(MulticastStrategy& strategy, const Topology& topo,
+                                 const WanRoutingTable& routing, const MulticastJob& job,
+                                 uint64_t seed, SimTime deadline) {
+  auto result = strategy.Run(topo, routing, job, seed, deadline);
+  if (!result.ok() || !result->completed) {
+    return -1.0;
+  }
+  return ToMinutes(result->completion_time);
+}
+
+}  // namespace bench
+}  // namespace bds
+
+#endif  // BDS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,110 @@
+// Search-index push with traffic isolation — the workload class the paper's
+// introduction motivates (search indexing is 89.2 % multicast at Baidu,
+// Table 1). A fresh index is pushed from the build DC to every serving DC
+// while latency-sensitive online traffic rides the same WAN links. BDS's
+// dynamic bandwidth separation must keep every link at or below the safety
+// threshold the whole time.
+//
+//   ./search_index_push [--dcs N] [--servers N] [--index-gb X] [--threshold F]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/core/bds.h"
+
+int main(int argc, char** argv) {
+  int dcs = 8;
+  int servers = 5;
+  double index_gb = 4.0;
+  double threshold = 0.8;
+
+  bds::FlagParser flags;
+  flags.AddInt("dcs", &dcs, "number of datacenters");
+  flags.AddInt("servers", &servers, "servers per datacenter");
+  flags.AddDouble("index-gb", &index_gb, "index size in GB");
+  flags.AddDouble("threshold", &threshold, "link utilization safety threshold");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  bds::GeoTopologyOptions topo_options;
+  topo_options.num_dcs = dcs;
+  topo_options.servers_per_dc = servers;
+  topo_options.server_up = bds::MBps(50.0);
+  topo_options.server_down = bds::MBps(50.0);
+  topo_options.wan_capacity = bds::Gbps(2.0);
+  auto topo = bds::BuildGeoTopology(topo_options);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "topology: %s\n", topo.status().ToString().c_str());
+    return 1;
+  }
+
+  bds::BdsOptions options;
+  options.safety_threshold = threshold;
+  auto service = bds::BdsService::Create(std::move(topo).value(), options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  // Online serving traffic occupies the WAN around the clock.
+  bds::BackgroundTrafficModel::Options bg;
+  bg.mean_utilization = 0.35;
+  bg.diurnal_amplitude = 0.15;
+  (*service)->EnableBackgroundTraffic(bg);
+
+  // Track a few WAN links to verify the threshold holds.
+  std::vector<bds::LinkId> tracked;
+  for (bds::LinkId l = 0; l < (*service)->topology().num_links() && tracked.size() < 6; ++l) {
+    if ((*service)->topology().link(l).type == bds::LinkType::kWan) {
+      (*service)->mutable_controller()->mutable_simulator()->TrackLinkUtilization(l);
+      tracked.push_back(l);
+    }
+  }
+
+  // Push the index everywhere.
+  std::vector<bds::DcId> dests;
+  for (bds::DcId d = 1; d < dcs; ++d) {
+    dests.push_back(d);
+  }
+  auto job = (*service)->CreateJob(0, dests, bds::GB(index_gb), 0.0, "search-indexing");
+  if (!job.ok()) {
+    std::fprintf(stderr, "job: %s\n", job.status().ToString().c_str());
+    return 1;
+  }
+
+  auto report = (*service)->Run(/*deadline=*/bds::Hours(2.0));
+  if (!report.ok()) {
+    std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Index push: %.1f GB -> %d serving DCs, done in %.1f min (complete=%s)\n",
+              index_gb, dcs - 1, bds::ToMinutes(report->completion_time),
+              report->completed ? "yes" : "no");
+
+  bds::AsciiTable table({"WAN link", "peak util", "mean util", "threshold breach"});
+  bool any_breach = false;
+  for (bds::LinkId l : tracked) {
+    const bds::TimeSeries* series =
+        (*service)->mutable_controller()->simulator().LinkUtilizationSeries(l);
+    if (series == nullptr || series->empty()) {
+      continue;
+    }
+    double peak = series->MaxValue();
+    bool breach = peak > threshold + 0.02;  // Small slack for online noise.
+    any_breach = any_breach || breach;
+    const bds::Link& link = (*service)->topology().link(l);
+    table.AddRow({"dc" + std::to_string(link.src_dc) + "->dc" + std::to_string(link.dst_dc),
+                  bds::AsciiTable::Num(peak, 3), bds::AsciiTable::Num(series->MeanValue(), 3),
+                  breach ? "YES" : "no"});
+  }
+  table.Print();
+  std::printf("Latency-sensitive traffic %s protected.\n",
+              any_breach ? "was NOT always" : "stayed");
+  return report->completed && !any_breach ? 0 : 2;
+}

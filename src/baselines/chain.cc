@@ -1,0 +1,111 @@
+#include "src/baselines/chain.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/simulator/network_simulator.h"
+#include "src/topology/path.h"
+
+namespace bds {
+
+StatusOr<MulticastRunResult> ChainStrategy::Run(const Topology& topo,
+                                                const WanRoutingTable& routing,
+                                                const MulticastJob& job, uint64_t seed,
+                                                SimTime deadline) {
+  (void)seed;  // The chain is deterministic.
+  BDS_RETURN_IF_ERROR(job.Validate(topo.num_dcs()));
+  NetworkSimulator sim(&topo);
+  ReplicaState state(&topo);
+  BDS_RETURN_IF_ERROR(state.AddJob(job));
+  CompletionTracker tracker(&topo, &state);
+
+  // hop_of[dc] = position in the chain (0 = first destination).
+  std::unordered_map<DcId, size_t> hop_of;
+  for (size_t i = 0; i < job.dest_dcs.size(); ++i) {
+    hop_of[job.dest_dcs[i]] = i;
+  }
+
+  // Per-server outgoing send queue (block, next-hop destination server):
+  // one flow at a time per sender keeps blocks pipelining down the chain.
+  struct Send {
+    int64_t block;
+    ServerId dst;
+  };
+  std::unordered_map<ServerId, std::deque<Send>> out_queue;
+  std::unordered_map<ServerId, bool> sending;
+  std::unordered_map<int64_t, std::tuple<int64_t, ServerId, ServerId>> in_flight;  // tag
+  int64_t next_tag = 0;
+  Status callback_status = Status::Ok();
+
+  std::function<void(ServerId)> pump = [&](ServerId src) {
+    if (!callback_status.ok()) {
+      return;
+    }
+    if (sending[src]) {
+      return;
+    }
+    auto& q = out_queue[src];
+    while (!q.empty()) {
+      Send s = q.front();
+      q.pop_front();
+      if (state.ServerHasBlock(job.id, s.block, s.dst)) {
+        continue;  // Next hop already has it.
+      }
+      auto path = MakeServerPath(topo, routing, src, s.dst);
+      if (!path.ok()) {
+        callback_status = path.status();
+        return;
+      }
+      int64_t tag = next_tag++;
+      auto flow = sim.StartFlow(path->links, job.BlockSizeOf(s.block), 0.0, tag, /*tag2=*/7);
+      if (!flow.ok()) {
+        callback_status = flow.status();
+        return;
+      }
+      in_flight[tag] = {s.block, src, s.dst};
+      sending[src] = true;
+      return;
+    }
+  };
+
+  auto enqueue_forward = [&](int64_t block, ServerId holder, size_t hop) {
+    if (hop >= job.dest_dcs.size()) {
+      return;  // End of chain.
+    }
+    DcId next_dc = job.dest_dcs[hop];
+    ServerId next_server = state.AssignedServer(job.id, block, next_dc);
+    out_queue[holder].push_back(Send{block, next_server});
+    pump(holder);
+  };
+
+  sim.SetCompletionCallback([&](const FlowRecord& rec) {
+    auto it = in_flight.find(rec.tag);
+    if (it == in_flight.end()) {
+      return;
+    }
+    auto [block, src, dst] = it->second;
+    in_flight.erase(it);
+    sending[src] = false;
+    (void)state.NoteDelivery(job.id, block, src, dst);
+    tracker.OnDelivery(dst, sim.now());
+    // Forward to the next hop in the chain.
+    size_t hop = hop_of[topo.server(dst).dc];
+    enqueue_forward(block, dst, hop + 1);
+    pump(src);
+  });
+
+  // Seed: origin shard holders send their blocks to the first chain hop.
+  for (int64_t b = 0; b < job.num_blocks(); ++b) {
+    ServerId holder = state.Holders(job.id, b).front();
+    enqueue_forward(b, holder, 0);
+  }
+  auto end = sim.RunUntilIdle(deadline);
+  if (!end.ok()) {
+    return end.status();
+  }
+  BDS_RETURN_IF_ERROR(callback_status);
+  return tracker.Finish(*end, state.AllComplete());
+}
+
+}  // namespace bds

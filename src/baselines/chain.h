@@ -1,0 +1,27 @@
+// Simple chain replication (Figure 3(c)): destination DCs form a fixed
+// chain; each block is forwarded hop-by-hop with per-block store-and-forward
+// pipelining. Better than direct replication (the relay's spare bandwidth is
+// used) but blind to the bottleneck-disjoint paths BDS exploits.
+
+#ifndef BDS_SRC_BASELINES_CHAIN_H_
+#define BDS_SRC_BASELINES_CHAIN_H_
+
+#include <string>
+
+#include "src/baselines/strategy.h"
+
+namespace bds {
+
+class ChainStrategy : public MulticastStrategy {
+ public:
+  std::string name() const override { return "chain"; }
+
+  // Chain order is the job's dest_dcs order.
+  StatusOr<MulticastRunResult> Run(const Topology& topo, const WanRoutingTable& routing,
+                                   const MulticastJob& job, uint64_t seed,
+                                   SimTime deadline) override;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_BASELINES_CHAIN_H_

@@ -1,0 +1,337 @@
+#include "src/baselines/decentralized_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/topology/path.h"
+
+namespace bds {
+
+DecentralizedEngine::DecentralizedEngine(const Topology* topo, const WanRoutingTable* routing,
+                                         NetworkSimulator* sim, ReplicaState* state,
+                                         Options options)
+    : topo_(topo),
+      routing_(routing),
+      sim_(sim),
+      state_(state),
+      options_(options),
+      rng_(options.seed) {
+  BDS_CHECK(topo != nullptr && routing != nullptr && sim != nullptr && state != nullptr);
+  BDS_CHECK(options_.concurrent_downloads >= 1);
+}
+
+void DecentralizedEngine::DrawNeighborSets() {
+  neighbors_.clear();
+  // Participant universe: every destination server plus every current
+  // holder's server (the origin DC's shard holders).
+  std::unordered_set<ServerId> universe;
+  for (ServerId s : state_->AllDestinationServers()) {
+    universe.insert(s);
+  }
+  for (JobId job : state_->job_ids()) {
+    const MulticastJob* j = state_->FindJob(job);
+    for (ServerId s : topo_->ServersIn(j->source_dc)) {
+      universe.insert(s);
+    }
+  }
+  participants_.assign(universe.begin(), universe.end());
+  std::sort(participants_.begin(), participants_.end());
+  int set_size = options_.neighbor_fraction > 0.0
+                     ? std::max(3, static_cast<int>(options_.neighbor_fraction *
+                                                    static_cast<double>(participants_.size())))
+                     : 0;
+  if (set_size <= 0 || static_cast<int>(participants_.size()) <= set_size) {
+    neighbors_drawn_at_ = sim_->now();
+    return;  // Global view.
+  }
+  for (ServerId receiver : participants_) {
+    auto picks =
+        rng_.SampleWithoutReplacement(static_cast<int64_t>(participants_.size()), set_size);
+    std::vector<ServerId>& set = neighbors_[receiver];
+    set.reserve(picks.size());
+    for (int64_t i : picks) {
+      ServerId s = participants_[static_cast<size_t>(i)];
+      if (s != receiver) {
+        set.push_back(s);
+      }
+    }
+    std::sort(set.begin(), set.end());
+  }
+  neighbors_drawn_at_ = sim_->now();
+}
+
+bool DecentralizedEngine::IsNeighbor(ServerId receiver, ServerId candidate) {
+  if (options_.neighbor_fraction <= 0.0) {
+    return true;
+  }
+  auto it = neighbors_.find(receiver);
+  if (it == neighbors_.end()) {
+    return true;  // Degenerate universe: everyone visible.
+  }
+  return std::binary_search(it->second.begin(), it->second.end(), candidate);
+}
+
+void DecentralizedEngine::Tick() {
+  if (!active_) {
+    return;
+  }
+  // RanSub-style neighbor refresh.
+  if (options_.neighbor_fraction > 0.0 && options_.resample_period > 0.0 &&
+      sim_->now() >= neighbors_drawn_at_ + options_.resample_period) {
+    DrawNeighborSets();
+  }
+  // Re-pump every receiver with work but no active download (its queue
+  // stalled earlier because no visible neighbor held the blocks).
+  for (auto& [server, wants] : queue_) {
+    if (!wants.empty() && in_flight_[server] < options_.concurrent_downloads) {
+      PumpServer(server);
+    }
+  }
+}
+
+void DecentralizedEngine::Activate() {
+  active_ = true;
+  queue_.clear();
+  DrawNeighborSets();
+  for (const PendingDelivery& p : state_->PendingDeliveries()) {
+    if (p.dest_server != kInvalidServer) {
+      queue_[p.dest_server].push_back(Want{p.job, p.block});
+    }
+  }
+  for (auto& [server, wants] : queue_) {
+    if (options_.randomize_order) {
+      rng_.Shuffle(wants);
+    }
+  }
+  // Snapshot the keys: PumpServer mutates queue_ entries.
+  std::vector<ServerId> servers;
+  servers.reserve(queue_.size());
+  for (const auto& [server, wants] : queue_) {
+    servers.push_back(server);
+  }
+  for (ServerId s : servers) {
+    PumpServer(s);
+  }
+}
+
+ServerId DecentralizedEngine::PickSource(JobId job, int64_t block, ServerId dst,
+                                         bool ignore_neighbors) {
+  const std::vector<ServerId>& all = state_->Holders(job, block);
+  const MulticastJob* j = state_->FindJob(job);
+  if (j == nullptr) {
+    return kInvalidServer;
+  }
+  // Sticky chunk-granularity selection: keep the previous source while it
+  // still holds what we need and the chunk is not exhausted.
+  if (options_.sticky_blocks > 0) {
+    auto it = sticky_.find(dst);
+    if (it != sticky_.end() && it->second.second > 0 &&
+        state_->ServerHasBlock(job, block, it->second.first) && it->second.first != dst) {
+      --it->second.second;
+      return it->second.first;
+    }
+  }
+  // Candidate pool after structural filters: not ourselves, origin-only if
+  // configured, and within the receiver's fixed neighbor set.
+  std::vector<ServerId> pool;
+  pool.reserve(all.size());
+  for (ServerId h : all) {
+    if (h == dst) {
+      continue;
+    }
+    if (options_.origin_only && topo_->server(h).dc != j->source_dc) {
+      continue;
+    }
+    if (!ignore_neighbors && !IsNeighbor(dst, h)) {
+      continue;
+    }
+    pool.push_back(h);
+  }
+  if (pool.empty()) {
+    return kInvalidServer;
+  }
+  if (options_.visibility <= 0 || static_cast<int>(pool.size()) <= options_.visibility) {
+    // Full visibility: uniform choice (still no load awareness — that is the
+    // decentralized limitation).
+    ServerId pick =
+        pool[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+    if (options_.sticky_blocks > 0) {
+      sticky_[dst] = {pick, options_.sticky_blocks - 1};
+    }
+    return pick;
+  }
+  // Partial visibility. The salt fixing which subset this receiver can see
+  // is either per-request (Gingko) or per-epoch (Bullet/RanSub).
+  uint64_t salt;
+  if (options_.resample_period > 0.0) {
+    auto [it, inserted] = epoch_.try_emplace(dst, std::make_pair(-1.0, 0ULL));
+    if (inserted || sim_->now() >= it->second.first + options_.resample_period) {
+      it->second = {sim_->now(), rng_.NextUint64()};
+    }
+    salt = it->second.second;
+  } else {
+    salt = rng_.NextUint64();
+  }
+  // The visible subset: `visibility` pseudo-random picks; choose uniformly
+  // among them.
+  uint64_t h = salt ^ (static_cast<uint64_t>(block) * 0x9E3779B97F4A7C15ULL) ^
+               (static_cast<uint64_t>(job) << 32);
+  int slot = static_cast<int>(rng_.UniformInt(0, options_.visibility - 1));
+  for (int i = 0; i <= slot; ++i) {
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+  }
+  ServerId pick = pool[static_cast<size_t>(h % pool.size())];
+  if (options_.sticky_blocks > 0) {
+    sticky_[dst] = {pick, options_.sticky_blocks - 1};
+  }
+  return pick;
+}
+
+void DecentralizedEngine::PumpServer(ServerId server) {
+  if (!active_) {
+    return;
+  }
+  auto qit = queue_.find(server);
+  if (qit == queue_.end()) {
+    return;
+  }
+  std::vector<Want>& wants = qit->second;
+  int& busy = in_flight_[server];
+  size_t stall_guard = wants.size();  // Each want is inspected at most once per pump.
+  while (busy < options_.concurrent_downloads && !wants.empty() && stall_guard-- > 0) {
+    Want w = wants.back();
+    wants.pop_back();
+    if (state_->ServerHasBlock(w.job, w.block, server)) {
+      continue;  // Already delivered (e.g. by the centralized controller).
+    }
+    bool escalate = w.retries >= options_.stall_escalation;
+    ServerId src = PickSource(w.job, w.block, server, escalate);
+    if (src == kInvalidServer) {
+      ++w.retries;  // Retry later (Tick re-pumps stalled receivers).
+      wants.insert(wants.begin(), w);
+      continue;
+    }
+    if (!StartOrQueue(w, src, server)) {
+      wants.insert(wants.begin(), w);
+      continue;
+    }
+    ++busy;  // Committed: either transferring or waiting in the source queue.
+  }
+}
+
+bool DecentralizedEngine::StartOrQueue(const Want& want, ServerId src, ServerId dst) {
+  if (options_.upload_slots > 0 && active_uploads_[src] >= options_.upload_slots) {
+    upload_queue_[src].push_back(QueuedRequest{want, dst});
+    return true;  // The receiver idles in the source's queue.
+  }
+  auto path = MakeServerPath(*topo_, *routing_, src, dst, /*route_index=*/0);
+  if (!path.ok()) {
+    return false;
+  }
+  const MulticastJob* job = state_->FindJob(want.job);
+  BDS_CHECK(job != nullptr);
+  int64_t tag = next_tag_++;
+  auto flow = sim_->StartFlow(path->links, job->BlockSizeOf(want.block), /*pinned_rate=*/0.0,
+                              tag, kFlowOwnerTag);
+  if (!flow.ok()) {
+    return false;
+  }
+  transfers_[tag] = Transfer{want.job, want.block, src, dst, *flow};
+  ++active_uploads_[src];
+  ++downloads_started_;
+  return true;
+}
+
+void DecentralizedEngine::ServeNextUpload(ServerId src) {
+  auto it = upload_queue_.find(src);
+  if (it == upload_queue_.end()) {
+    return;
+  }
+  std::vector<QueuedRequest>& queue = it->second;
+  while (!queue.empty() &&
+         (options_.upload_slots <= 0 || active_uploads_[src] < options_.upload_slots)) {
+    QueuedRequest req = queue.front();
+    queue.erase(queue.begin());
+    if (state_->ServerHasBlock(req.want.job, req.want.block, req.dst) ||
+        !state_->ServerHasBlock(req.want.job, req.want.block, src)) {
+      // Delivered elsewhere meanwhile, or the source lost the block: free
+      // the receiver to pick something else.
+      --in_flight_[req.dst];
+      PumpServer(req.dst);
+      continue;
+    }
+    if (!StartOrQueue(req.want, src, req.dst)) {
+      --in_flight_[req.dst];
+      queue_[req.dst].push_back(req.want);
+      PumpServer(req.dst);
+    }
+  }
+}
+
+void DecentralizedEngine::HandleServerFailure(ServerId server) {
+  std::vector<int64_t> doomed;
+  for (const auto& [tag, t] : transfers_) {
+    if (t.src == server || t.dst == server) {
+      doomed.push_back(tag);
+    }
+  }
+  for (int64_t tag : doomed) {
+    Transfer t = transfers_[tag];
+    transfers_.erase(tag);
+    (void)sim_->CancelFlow(t.flow);
+    --in_flight_[t.dst];
+    --active_uploads_[t.src];
+    if (t.dst != server) {
+      // The receiver is alive: requeue the block and keep it busy.
+      queue_[t.dst].push_back(Want{t.job, t.block});
+      PumpServer(t.dst);
+    }
+  }
+  // Requests queued at the failed source go back to their receivers;
+  // requests from the failed receiver disappear.
+  auto qit = upload_queue_.find(server);
+  if (qit != upload_queue_.end()) {
+    std::vector<QueuedRequest> orphans = std::move(qit->second);
+    upload_queue_.erase(qit);
+    for (QueuedRequest& req : orphans) {
+      --in_flight_[req.dst];
+      queue_[req.dst].push_back(req.want);
+      PumpServer(req.dst);
+    }
+  }
+  for (auto& [src, queue] : upload_queue_) {
+    for (size_t i = 0; i < queue.size();) {
+      if (queue[i].dst == server) {
+        queue.erase(queue.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+bool DecentralizedEngine::OnFlowComplete(const FlowRecord& record) {
+  if (record.tag2 != kFlowOwnerTag) {
+    return false;
+  }
+  auto it = transfers_.find(record.tag);
+  if (it == transfers_.end()) {
+    return false;
+  }
+  Transfer t = it->second;
+  transfers_.erase(it);
+  --in_flight_[t.dst];
+  --active_uploads_[t.src];
+  // The engine is the data plane; record the delivery in the global state.
+  (void)state_->NoteDelivery(t.job, t.block, t.src, t.dst);
+  if (on_delivery_) {
+    on_delivery_(t.job, t.block, t.src, t.dst);
+  }
+  ServeNextUpload(t.src);
+  PumpServer(t.dst);
+  return true;
+}
+
+}  // namespace bds

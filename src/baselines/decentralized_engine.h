@@ -1,0 +1,174 @@
+// Receiver-driven decentralized dissemination engine.
+//
+// This is the protocol class the paper's §2.3 describes for Gingko (and that
+// BDS agents fall back to when the controller is unreachable, §5.3): each
+// destination server independently pulls its missing blocks from whichever
+// holders it can see. The crucial limitation is *partial visibility* — a
+// receiver only knows a random subset of the block's holders — which is what
+// produces hotspots and the 4-5x gap to optimal (Fig 5).
+//
+// Option knobs turn the same engine into the Bullet-style mesh (periodic
+// random peer resampling, several concurrent fetches) and into naive direct
+// replication (origin-only sources).
+
+#ifndef BDS_SRC_BASELINES_DECENTRALIZED_ENGINE_H_
+#define BDS_SRC_BASELINES_DECENTRALIZED_ENGINE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/scheduler/replica_state.h"
+#include "src/simulator/network_simulator.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+
+namespace bds {
+
+class DecentralizedEngine {
+ public:
+  struct Options {
+    // Holders a receiver can see per request; <= 0 means full visibility.
+    int visibility = 4;
+    // Concurrent downloads per destination server.
+    int concurrent_downloads = 1;
+    // Re-draw the visible holder subset only every `resample_period` seconds
+    // (Bullet-style epochs); 0 re-draws on every request (Gingko-style).
+    SimTime resample_period = 0.0;
+    // Restrict sources to servers in the job's origin DC (direct
+    // replication).
+    bool origin_only = false;
+    // Request queue order: true = random (decentralized systems), false =
+    // sequential block order.
+    bool randomize_order = true;
+    // A receiver sticks with its chosen source for this many consecutive
+    // blocks (chunk-granularity source selection, as deployed receiver-
+    // driven systems do). This is what turns a momentarily bad random pick
+    // into a long straggler (Fig 5's tail). 0 = re-pick every block.
+    int sticky_blocks = 0;
+    // Fixed overlay neighbor set: each receiver may only pull from this
+    // fraction of the participants (at least 3 servers), drawn once at
+    // Activate() and re-drawn each `resample_period` for RanSub-style
+    // meshes. This is the paper's "individual servers only see a subset of
+    // available data sources" (§2.3): while none of a receiver's neighbors
+    // hold a block, the receiver waits. 0 = global view.
+    double neighbor_fraction = 0.0;
+    // After this many failed attempts on one block, the receiver escalates
+    // past its neighbor set (out-of-band discovery), so runs never wedge.
+    int stall_escalation = 20;
+    // Concurrent uploads a source serves; further requests wait in the
+    // source's queue while the receiver sits idle. This serial service is
+    // what turns an unlucky random source choice into a long wait — the
+    // dominant decentralized inefficiency of §2.3. 0 = unlimited
+    // (fair-share trickling to every requester).
+    int upload_slots = 0;
+    uint64_t seed = 1;
+  };
+
+  // tag2 value marking flows owned by a DecentralizedEngine.
+  static constexpr int64_t kFlowOwnerTag = 0x0DECE;
+
+  DecentralizedEngine(const Topology* topo, const WanRoutingTable* routing,
+                      NetworkSimulator* sim, ReplicaState* state, Options options);
+
+  // Builds per-server want-queues from the current replica state and starts
+  // initial downloads. Call once, or again after failures change the state.
+  void Activate();
+
+  // Stops launching new downloads (the centralized controller took over).
+  void Deactivate() { active_ = false; }
+  bool active() const { return active_; }
+
+  // Routes a completed flow back into the engine. Returns true if the flow
+  // belonged to this engine (callers with mixed flow owners dispatch on
+  // FlowRecord::tag2). Fires `on_delivery` before starting follow-up work.
+  using DeliveryCallback = std::function<void(JobId, int64_t block, ServerId src, ServerId dst)>;
+  bool OnFlowComplete(const FlowRecord& record);
+
+  void SetDeliveryCallback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  // Cancels every in-flight download to or from `server` and requeues the
+  // affected blocks (server/agent failure, §5.3 item 2).
+  void HandleServerFailure(ServerId server);
+
+  // Periodic kick: retries receivers whose queues stalled because no visible
+  // neighbor held their blocks yet, and re-draws RanSub neighbor sets when
+  // the epoch rolled over. Call once per simulated second or cycle.
+  void Tick();
+
+  int64_t downloads_started() const { return downloads_started_; }
+
+ private:
+  struct Want {
+    JobId job;
+    int64_t block;
+    int retries = 0;
+  };
+  struct Transfer {
+    JobId job;
+    int64_t block;
+    ServerId src;
+    ServerId dst;
+    FlowId flow = kInvalidFlow;
+  };
+
+  // Starts the next download(s) for `server` until its concurrency budget is
+  // exhausted or its queue runs dry.
+  void PumpServer(ServerId server);
+
+  // Picks a source holder for (job, block) under the visibility rule;
+  // kInvalidServer when none available.
+  ServerId PickSource(JobId job, int64_t block, ServerId dst, bool ignore_neighbors);
+
+  const Topology* topo_;
+  const WanRoutingTable* routing_;
+  NetworkSimulator* sim_;
+  ReplicaState* state_;
+  Options options_;
+  Rng rng_;
+  bool active_ = false;
+
+  std::unordered_map<ServerId, std::vector<Want>> queue_;
+  std::unordered_map<ServerId, int> in_flight_;
+  // Sticky source state per receiver: (source, blocks left on it).
+  std::unordered_map<ServerId, std::pair<ServerId, int>> sticky_;
+
+  // Upload-slot bookkeeping (upload_slots > 0): active uploads per source
+  // and the requests queued behind them.
+  struct QueuedRequest {
+    Want want;
+    ServerId dst;
+  };
+  std::unordered_map<ServerId, int> active_uploads_;
+  std::unordered_map<ServerId, std::vector<QueuedRequest>> upload_queue_;
+
+  // Starts the transfer or queues it at the source. Returns false only on
+  // hard errors (no path); the receiver's download slot stays committed
+  // either way.
+  bool StartOrQueue(const Want& want, ServerId src, ServerId dst);
+  void ServeNextUpload(ServerId src);
+  std::unordered_map<int64_t, Transfer> transfers_;  // By flow tag.
+  int64_t next_tag_ = 0;
+  int64_t downloads_started_ = 0;
+
+  // Bullet-style epoch cache: per (server), the visible holder subset drawn
+  // this epoch, per job/block hash bucket.
+  std::unordered_map<ServerId, std::pair<SimTime, uint64_t>> epoch_;
+
+  // Fixed neighbor sets (neighbor_set_size > 0) and the participant universe
+  // they are drawn from.
+  std::vector<ServerId> participants_;
+  std::unordered_map<ServerId, std::vector<ServerId>> neighbors_;
+  SimTime neighbors_drawn_at_ = -1.0;
+
+  void DrawNeighborSets();
+  bool IsNeighbor(ServerId receiver, ServerId candidate);
+
+  DeliveryCallback on_delivery_;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_BASELINES_DECENTRALIZED_ENGINE_H_

@@ -1,0 +1,74 @@
+#include "src/baselines/ideal.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+#include "src/scheduler/replica_state.h"
+
+namespace bds {
+
+SimTime IdealCompletionBound(const Topology& topo, const MulticastJob& job) {
+  BDS_CHECK(job.Validate(topo.num_dcs()).ok());
+  SimTime bound = 0.0;
+
+  // Source egress: every byte leaves the origin DC at least once (relays can
+  // take over afterwards, but the first copy must come from the source).
+  Rate src_up = 0.0;
+  for (ServerId s : topo.ServersIn(job.source_dc)) {
+    src_up += topo.server(s).up_capacity;
+  }
+  if (src_up > 0.0) {
+    bound = std::max(bound, job.total_bytes / src_up);
+  }
+
+  int64_t n = job.num_blocks();
+  for (DcId d : job.dest_dcs) {
+    const auto& servers = topo.ServersIn(d);
+    // Aggregate ingest of the DC's servers.
+    Rate down = 0.0;
+    for (ServerId s : servers) {
+      down += topo.server(s).down_capacity;
+    }
+    if (down > 0.0) {
+      bound = std::max(bound, job.total_bytes / down);
+    }
+    // Aggregate WAN ingress (an upper bound on the min-cut into the DC).
+    Rate wan_in = 0.0;
+    for (const Link& l : topo.links()) {
+      if (l.type == LinkType::kWan && l.dst_dc == d) {
+        wan_in += l.capacity;
+      }
+    }
+    if (wan_in > 0.0) {
+      bound = std::max(bound, job.total_bytes / wan_in);
+    }
+    // Per-server shard bound: each server must ingest the blocks the
+    // placement rule assigns to it.
+    std::vector<Bytes> shard(servers.size(), 0.0);
+    for (int64_t b = 0; b < n; ++b) {
+      shard[ShardIndex(job.id, b, d, servers.size())] += job.BlockSizeOf(b);
+    }
+    for (size_t i = 0; i < servers.size(); ++i) {
+      Rate r = topo.server(servers[i]).down_capacity;
+      if (r > 0.0 && shard[i] > 0.0) {
+        bound = std::max(bound, shard[i] / r);
+      }
+    }
+  }
+  return bound;
+}
+
+double AppendixBalancedTime(int64_t num_blocks, int m, int k, Bytes rho, Rate r) {
+  BDS_CHECK(m > k && k >= 1 && r > 0.0);
+  double v = static_cast<double>(num_blocks) * static_cast<double>(m - k) * rho;
+  return static_cast<double>(m - k) * v / (static_cast<double>(k) * r);
+}
+
+double AppendixImbalancedTime(int64_t num_blocks, int m, int k1, int k2, Bytes rho, Rate r) {
+  BDS_CHECK(m > k1 && k1 >= 1 && k2 > k1 && r > 0.0);
+  double half = static_cast<double>(num_blocks) / 2.0;
+  double v = half * static_cast<double>(m - k1) * rho + half * static_cast<double>(m - k2) * rho;
+  return static_cast<double>(m - k1) * v / (static_cast<double>(k1) * r);
+}
+
+}  // namespace bds

@@ -1,0 +1,37 @@
+// Analytic lower bounds on multicast completion time, used as the "ideal
+// solution" curve in Fig 5 and as the theoretical model of the paper's
+// appendix (balanced vs. imbalanced replica counts).
+
+#ifndef BDS_SRC_BASELINES_IDEAL_H_
+#define BDS_SRC_BASELINES_IDEAL_H_
+
+#include "src/common/types.h"
+#include "src/topology/topology.h"
+#include "src/workload/job.h"
+
+namespace bds {
+
+// A lower bound on any strategy's completion time for `job` on `topo`:
+// the maximum of
+//   * per destination DC: bytes / aggregate server download capacity, and
+//     bytes / aggregate WAN ingress capacity;
+//   * source DC: bytes / aggregate server upload capacity (every byte must
+//     leave the origin at least once);
+//   * per destination server: its shard bytes / its download capacity.
+SimTime IdealCompletionBound(const Topology& topo, const MulticastJob& job);
+
+// Appendix formulas. N blocks of size rho must reach m destination DCs;
+// every server has up/down rate R (R = min(Rup, Rdown)); inter-DC links are
+// not the bottleneck.
+//
+// Balanced case A: every block has k replicas ->
+//   t_A = (m - k) * V / (k * R), with V = N * (m - k) * rho.
+double AppendixBalancedTime(int64_t num_blocks, int m, int k, Bytes rho, Rate r);
+
+// Imbalanced case B: half the blocks have k1 replicas, half k2 (k1 < k2) ->
+//   t_B = (m - k1) * V / (k1 * R) with V = N/2 (m-k1) rho + N/2 (m-k2) rho.
+double AppendixImbalancedTime(int64_t num_blocks, int m, int k1, int k2, Bytes rho, Rate r);
+
+}  // namespace bds
+
+#endif  // BDS_SRC_BASELINES_IDEAL_H_

@@ -1,0 +1,66 @@
+#include "src/baselines/strategy.h"
+
+#include <algorithm>
+
+namespace bds {
+
+std::vector<double> MulticastRunResult::ServerCompletionMinutes() const {
+  std::vector<double> out;
+  out.reserve(server_completion.size());
+  for (const auto& [server, t] : server_completion) {
+    out.push_back(ToMinutes(t));
+  }
+  return out;
+}
+
+CompletionTracker::CompletionTracker(const Topology* topo, ReplicaState* state)
+    : topo_(topo), state_(state) {
+  BDS_CHECK(topo != nullptr && state != nullptr);
+  for (ServerId s : state->AllDestinationServers()) {
+    if (state->OwedByServer(s) > 0) {
+      ++dc_outstanding_servers_[topo_->server(s).dc];
+    } else {
+      // The server owes nothing (e.g. fewer blocks than servers): done at 0.
+      server_done_[s] = 0.0;
+    }
+  }
+  // DCs whose every server owed nothing are done at time 0.
+  for (const auto& [s, t] : server_done_) {
+    DcId dc = topo_->server(s).dc;
+    if (dc_outstanding_servers_.count(dc) == 0) {
+      dc_done_.emplace(dc, 0.0);
+    }
+  }
+}
+
+void CompletionTracker::OnDelivery(ServerId dest_server, SimTime now) {
+  ++deliveries_;
+  if (state_->OwedByServer(dest_server) > 0 || server_done_.count(dest_server) != 0) {
+    return;
+  }
+  server_done_[dest_server] = now;
+  DcId dc = topo_->server(dest_server).dc;
+  auto it = dc_outstanding_servers_.find(dc);
+  if (it != dc_outstanding_servers_.end() && --it->second == 0) {
+    dc_done_[dc] = now;
+  }
+}
+
+MulticastRunResult CompletionTracker::Finish(SimTime now, bool completed) {
+  MulticastRunResult result;
+  result.completed = completed;
+  result.deliveries = deliveries_;
+  SimTime latest = 0.0;
+  for (const auto& [server, t] : server_done_) {
+    result.server_completion.emplace_back(server, t);
+    latest = std::max(latest, t);
+  }
+  std::sort(result.server_completion.begin(), result.server_completion.end());
+  for (const auto& [dc, t] : dc_done_) {
+    result.dc_completion.emplace(dc, t);
+  }
+  result.completion_time = completed ? latest : now;
+  return result;
+}
+
+}  // namespace bds

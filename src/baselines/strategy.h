@@ -1,0 +1,73 @@
+// Common interface for multicast strategies compared in the evaluation
+// (§6.1): BDS itself, Gingko, Bullet, Akamai's layered overlay, plus the
+// didactic direct / chain-replication strategies of Figure 3.
+
+#ifndef BDS_SRC_BASELINES_STRATEGY_H_
+#define BDS_SRC_BASELINES_STRATEGY_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/scheduler/replica_state.h"
+#include "src/simulator/network_simulator.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+#include "src/workload/job.h"
+
+namespace bds {
+
+struct MulticastRunResult {
+  bool completed = false;
+  // Time until every destination DC holds a full copy; equals the deadline
+  // when incomplete.
+  SimTime completion_time = 0.0;
+  // Per destination server: when its shard finished arriving.
+  std::vector<std::pair<ServerId, SimTime>> server_completion;
+  std::unordered_map<DcId, SimTime> dc_completion;
+  int64_t deliveries = 0;
+
+  // Completion-time samples in minutes, for CDF reporting.
+  std::vector<double> ServerCompletionMinutes() const;
+};
+
+class MulticastStrategy {
+ public:
+  virtual ~MulticastStrategy() = default;
+  virtual std::string name() const = 0;
+
+  // Runs `job` to completion (or `deadline`) on a fresh simulator.
+  virtual StatusOr<MulticastRunResult> Run(const Topology& topo, const WanRoutingTable& routing,
+                                           const MulticastJob& job, uint64_t seed,
+                                           SimTime deadline) = 0;
+};
+
+// Tracks per-server and per-DC completion as deliveries land. Shared by all
+// strategy implementations.
+class CompletionTracker {
+ public:
+  CompletionTracker(const Topology* topo, ReplicaState* state);
+
+  // Call after state->NoteDelivery(...) for the delivery that just landed.
+  void OnDelivery(ServerId dest_server, SimTime now);
+
+  // Finalizes and extracts the result. `deadline_hit` marks incompleteness.
+  MulticastRunResult Finish(SimTime now, bool completed);
+
+  int64_t deliveries() const { return deliveries_; }
+
+ private:
+  const Topology* topo_;
+  ReplicaState* state_;
+  std::unordered_map<ServerId, SimTime> server_done_;
+  std::unordered_map<DcId, SimTime> dc_done_;
+  std::unordered_map<DcId, int64_t> dc_outstanding_servers_;
+  int64_t deliveries_ = 0;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_BASELINES_STRATEGY_H_

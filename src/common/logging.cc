@@ -1,0 +1,54 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace bds {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<int64_t> g_count{0};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+int64_t LogMessageCount() { return g_count.load(std::memory_order_relaxed); }
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  std::string text = stream_.str();
+  std::fprintf(stderr, "%s\n", text.c_str());
+  (void)level_;
+}
+
+}  // namespace log_internal
+
+}  // namespace bds

@@ -1,0 +1,83 @@
+// Minimal leveled logger.
+//
+// Usage:
+//   BDS_LOG(INFO) << "controller cycle " << k << " finished";
+//
+// The global threshold defaults to kWarning so that library users (tests,
+// benches) are not flooded; examples raise it explicitly.
+
+#ifndef BDS_SRC_COMMON_LOGGING_H_
+#define BDS_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bds {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Process-wide minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Number of messages emitted since process start (testing hook).
+int64_t LogMessageCount();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the stream when the message is below the threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace log_internal
+
+namespace log_internal {
+// Severity aliases so BDS_LOG(INFO) can token-paste.
+inline constexpr LogLevel kLevel_DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLevel_INFO = LogLevel::kInfo;
+inline constexpr LogLevel kLevel_WARNING = LogLevel::kWarning;
+inline constexpr LogLevel kLevel_ERROR = LogLevel::kError;
+
+// Lets the macro below produce a void expression in both branches.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace log_internal
+
+#define BDS_LOG(severity)                                                                   \
+  ((::bds::log_internal::kLevel_##severity) < ::bds::GetLogLevel())                        \
+      ? (void)0                                                                             \
+      : ::bds::log_internal::Voidify() &                                                    \
+            ::bds::log_internal::LogMessage(::bds::log_internal::kLevel_##severity,         \
+                                            __FILE__, __LINE__)                             \
+                .stream()
+
+}  // namespace bds
+
+#endif  // BDS_SRC_COMMON_LOGGING_H_

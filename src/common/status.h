@@ -1,0 +1,154 @@
+// Lightweight error propagation: Status and StatusOr<T>.
+//
+// BDS is a library first; it must not abort on bad user input. Internal
+// invariant violations still use BDS_CHECK (crashing early beats silently
+// corrupting a simulation).
+
+#ifndef BDS_SRC_COMMON_STATUS_H_
+#define BDS_SRC_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bds {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,
+  kInternal,
+  kInfeasible,  // LP/scheduling problem has no feasible solution.
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status InternalError(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status InfeasibleError(std::string msg) {
+  return Status(StatusCode::kInfeasible, std::move(msg));
+}
+
+// A value or an error. Minimal analogue of absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : data_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(T value) : data_(std::move(value)) {}         // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   std::get<Status>(data_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> data_;
+};
+
+// Internal invariant checks. Fatal: a failed check means the library itself
+// is wrong, not the caller.
+#define BDS_CHECK(cond)                                                                   \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      std::fprintf(stderr, "BDS_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond); \
+      std::abort();                                                                       \
+    }                                                                                     \
+  } while (0)
+
+#define BDS_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "BDS_CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__, \
+                   #cond, msg);                                                      \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define BDS_RETURN_IF_ERROR(expr)       \
+  do {                                  \
+    ::bds::Status _bds_status = (expr); \
+    if (!_bds_status.ok()) {            \
+      return _bds_status;               \
+    }                                   \
+  } while (0)
+
+}  // namespace bds
+
+#endif  // BDS_SRC_COMMON_STATUS_H_

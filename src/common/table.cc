@@ -1,0 +1,74 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace bds {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+  BDS_CHECK(!header_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  BDS_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::Num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row, std::ostringstream& os) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+      os << " |";
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  std::ostringstream sep;
+  sep << "+";
+  for (size_t w : widths) {
+    for (size_t i = 0; i < w + 2; ++i) {
+      sep << '-';
+    }
+    sep << '+';
+  }
+  sep << "\n";
+
+  os << sep.str();
+  render_row(header_, os);
+  os << sep.str();
+  for (const auto& row : rows_) {
+    render_row(row, os);
+  }
+  os << sep.str();
+  return os.str();
+}
+
+void AsciiTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace bds

@@ -1,0 +1,32 @@
+// ASCII table rendering for benchmark output. Every bench prints the rows the
+// corresponding paper table/figure reports, via this printer, so output is
+// uniform and machine-greppable.
+
+#ifndef BDS_SRC_COMMON_TABLE_H_
+#define BDS_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace bds {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  std::string ToString() const;
+  void Print() const;  // To stdout.
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_COMMON_TABLE_H_

@@ -1,0 +1,377 @@
+#include "src/control/controller.h"
+
+#include <algorithm>
+
+namespace bds {
+
+std::vector<double> RunReport::ServerCompletionMinutes() const {
+  std::vector<double> out;
+  out.reserve(server_completion.size());
+  for (const auto& [server, t] : server_completion) {
+    out.push_back(ToMinutes(t));
+  }
+  return out;
+}
+
+BdsController::BdsController(const Topology* topo, const WanRoutingTable* routing,
+                             ControllerOptions options)
+    : topo_(topo),
+      routing_(routing),
+      options_(options),
+      sim_(topo),
+      state_(topo),
+      algorithm_(topo, routing, options.algorithm),
+      separator_(topo, options.separation),
+      agent_monitor_(topo, options.controller_dc, options.latency),
+      network_monitor_(topo),
+      replicas_(options.replication),
+      fallback_(topo, routing, &sim_, &state_,
+                [&options] {
+                  DecentralizedEngine::Options o = options.fallback;
+                  o.seed = options.seed ^ 0xFA11BACC;
+                  return o;
+                }()) {
+  BDS_CHECK(topo != nullptr && routing != nullptr);
+  sim_.SetCompletionCallback([this](const FlowRecord& r) { OnFlowComplete(r); });
+  fallback_.SetDeliveryCallback([this](JobId job, int64_t, ServerId, ServerId dst) {
+    RecordDelivery(job, dst, sim_.now());
+  });
+  fallback_.Deactivate();
+}
+
+Status BdsController::SubmitJob(const MulticastJob& job) {
+  BDS_RETURN_IF_ERROR(job.Validate(topo_->num_dcs()));
+  arriving_jobs_.push_back(job);
+  std::sort(arriving_jobs_.begin() + static_cast<long>(next_arrival_), arriving_jobs_.end(),
+            [](const MulticastJob& a, const MulticastJob& b) {
+              return a.arrival_time < b.arrival_time;
+            });
+  ++jobs_submitted_;
+  return Status::Ok();
+}
+
+void BdsController::ScheduleServerFailure(ServerId server, SimTime at) {
+  failures_.push_back(ServerFailure{server, at, /*recovery=*/false});
+  std::sort(failures_.begin() + static_cast<long>(next_failure_), failures_.end(),
+            [](const ServerFailure& a, const ServerFailure& b) { return a.at < b.at; });
+}
+
+void BdsController::ScheduleServerRecovery(ServerId server, SimTime at) {
+  failures_.push_back(ServerFailure{server, at, /*recovery=*/true});
+  std::sort(failures_.begin() + static_cast<long>(next_failure_), failures_.end(),
+            [](const ServerFailure& a, const ServerFailure& b) { return a.at < b.at; });
+}
+
+void BdsController::ScheduleControllerOutage(SimTime from, SimTime to) {
+  outages_.push_back(Outage{from, to});
+}
+
+void BdsController::SetBackgroundTraffic(BackgroundTrafficModel* model) {
+  network_monitor_.SetTrafficModel(model);
+}
+
+void BdsController::RegisterArrivals(SimTime now) {
+  bool added = false;
+  while (next_arrival_ < arriving_jobs_.size() &&
+         arriving_jobs_[next_arrival_].arrival_time <= now + kFluidEpsilon) {
+    const MulticastJob& job = arriving_jobs_[next_arrival_];
+    Status s = state_.AddJob(job);
+    BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
+    // Track participating DCs for feedback-delay sampling.
+    auto note_dc = [this](DcId d) {
+      if (std::find(active_agent_dcs_.begin(), active_agent_dcs_.end(), d) ==
+          active_agent_dcs_.end()) {
+        active_agent_dcs_.push_back(d);
+      }
+    };
+    note_dc(job.source_dc);
+    for (DcId d : job.dest_dcs) {
+      note_dc(d);
+    }
+    ++next_arrival_;
+    added = true;
+  }
+  if (added && fallback_.active()) {
+    fallback_.Activate();  // Refresh queues with the new job's deliveries.
+  }
+}
+
+void BdsController::ApplyFailures(SimTime now) {
+  while (next_failure_ < failures_.size() && failures_[next_failure_].at <= now + kFluidEpsilon) {
+    ServerId server = failures_[next_failure_].server;
+    bool recovery = failures_[next_failure_].recovery;
+    ++next_failure_;
+    if (recovery) {
+      state_.RestoreServer(server);
+      if (fallback_.active()) {
+        fallback_.Activate();  // Pick up the restored server's owed shards.
+      }
+      continue;
+    }
+    state_.RemoveServer(server);
+    fallback_.HandleServerFailure(server);
+    // Cancel centralized transfers touching the failed server; their
+    // deliveries go back to pending via the replica state.
+    std::vector<int64_t> doomed;
+    for (const auto& [tag, t] : transfers_) {
+      if (t.assignment.src_server == server || t.assignment.dst_server == server) {
+        doomed.push_back(tag);
+      }
+    }
+    for (int64_t tag : doomed) {
+      CtrlTransfer t = transfers_[tag];
+      transfers_.erase(tag);
+      (void)sim_.CancelFlow(t.flow);
+      for (int64_t b : t.assignment.blocks) {
+        in_flight_.erase(DeliveryKey{t.assignment.job, b, t.dest_dc});
+      }
+    }
+  }
+}
+
+bool BdsController::ControllerUp(SimTime now) {
+  for (const Outage& o : outages_) {
+    if (now >= o.from - kFluidEpsilon && now < o.to - kFluidEpsilon) {
+      return false;
+    }
+  }
+  return replicas_.HasMaster(now);
+}
+
+void BdsController::CancelAndCredit(int64_t tag) {
+  auto it = transfers_.find(tag);
+  if (it == transfers_.end()) {
+    return;
+  }
+  CtrlTransfer t = std::move(it->second);
+  transfers_.erase(it);
+  auto delivered = sim_.CancelFlow(t.flow);
+  Bytes delivered_bytes = delivered.ok() ? *delivered : 0.0;
+  Bytes per_block = t.assignment.bytes / static_cast<double>(t.assignment.blocks.size());
+  int64_t full_blocks =
+      per_block > 0.0
+          ? static_cast<int64_t>(delivered_bytes / per_block + kFluidEpsilon)
+          : 0;
+  full_blocks = std::min(full_blocks, static_cast<int64_t>(t.assignment.blocks.size()));
+  for (size_t i = 0; i < t.assignment.blocks.size(); ++i) {
+    int64_t b = t.assignment.blocks[i];
+    in_flight_.erase(DeliveryKey{t.assignment.job, b, t.dest_dc});
+    if (static_cast<int64_t>(i) < full_blocks) {
+      // Blocks are streamed in order within a merged transfer; the first
+      // `full_blocks` have fully arrived.
+      (void)state_.NoteDelivery(t.assignment.job, b, t.assignment.src_server,
+                                t.assignment.dst_server);
+    }
+  }
+  if (full_blocks > 0) {
+    RecordDelivery(t.assignment.job, t.assignment.dst_server, sim_.now());
+  }
+}
+
+SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
+  // Decision refresh: re-plan transfers that will not finish in a
+  // reasonable number of cycles at their current rate.
+  const double horizon = options_.restall_cycles * options_.algorithm.cycle_length;
+  std::vector<int64_t> stalled;
+  for (const auto& [tag, t] : transfers_) {
+    const Flow* flow = sim_.FindFlow(t.flow);
+    if (flow == nullptr) {
+      stalled.push_back(tag);  // Flow vanished; clean up bookkeeping.
+      continue;
+    }
+    if (flow->current_rate <= kFluidEpsilon ||
+        flow->remaining / flow->current_rate > horizon) {
+      stalled.push_back(tag);
+    }
+  }
+  for (int64_t tag : stalled) {
+    CancelAndCredit(tag);
+  }
+
+  // (1) + (3): agent states and network statistics.
+  std::vector<Rate> online = network_monitor_.OnlineRates(now);
+  // Also steer the simulator's background load so the data plane and the
+  // monitor agree on what the latency-sensitive traffic consumes.
+  for (LinkId l = 0; l < topo_->num_links(); ++l) {
+    if (topo_->link(l).type == LinkType::kWan) {
+      (void)sim_.SetBackgroundRate(l, online[static_cast<size_t>(l)]);
+    }
+  }
+  std::vector<Rate> residual = separator_.ResidualCapacities(online);
+  // Non-blocking update: in-flight transfers keep their bandwidth, but only
+  // for the fraction of the coming cycle they will still be running (agents
+  // report per-flow progress, so the controller knows the remaining time).
+  for (const auto& [tag, t] : transfers_) {
+    const Flow* flow = sim_.FindFlow(t.flow);
+    double fraction = 1.0;
+    if (flow != nullptr && flow->current_rate > 0.0) {
+      double remaining_seconds = flow->remaining / flow->current_rate;
+      fraction = std::min(1.0, remaining_seconds / options_.algorithm.cycle_length);
+    }
+    for (LinkId l : t.assignment.path.links) {
+      Rate& r = residual[static_cast<size_t>(l)];
+      // WAN links subtract the full in-flight rate: the safety threshold and
+      // the bulk cap are hard guarantees (§5.2), so overlapping a straggler
+      // with a full new allocation must never push a WAN link over. Server
+      // NICs only lose the fraction of the cycle the straggler still needs.
+      double f = topo_->link(l).type == LinkType::kWan ? 1.0 : fraction;
+      r = std::max(0.0, r - t.assignment.rate * f);
+    }
+  }
+
+  // (4): the decision algorithm.
+  CycleDecision decision = algorithm_.Decide(stats.cycle, state_, residual, in_flight_);
+  stats.scheduled_blocks = decision.scheduled_blocks;
+  stats.merged_subtasks = decision.merged_subtasks;
+  stats.scheduling_seconds = decision.scheduling_seconds;
+  stats.routing_seconds = decision.routing_seconds;
+  if ((options_.measure_delays || options_.model_decision_latency) &&
+      !active_agent_dcs_.empty()) {
+    stats.feedback_delay =
+        agent_monitor_.SampleFeedbackLoop(active_agent_dcs_, decision.total_seconds());
+  }
+  // The decisions only reach the agents after the feedback loop completes;
+  // in-flight transfers keep running meanwhile (non-blocking update).
+  SimTime lead = 0.0;
+  if (options_.model_decision_latency && stats.feedback_delay > 0.0) {
+    lead = std::min(stats.feedback_delay, options_.algorithm.cycle_length * 0.9);
+    Status s = sim_.AdvanceBy(lead);
+    BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+
+  // (5): push decisions — agents start rate-limited transfers.
+  for (TransferAssignment& a : decision.transfers) {
+    DcId dest_dc = topo_->server(a.dst_server).dc;
+    int64_t tag = next_tag_++;
+    auto flow = sim_.StartFlow(a.path.links, a.bytes, a.rate, tag, /*tag2=*/0);
+    if (!flow.ok()) {
+      continue;  // Skip unstartable transfers; they stay pending.
+    }
+    for (int64_t b : a.blocks) {
+      in_flight_.insert(DeliveryKey{a.job, b, dest_dc});
+    }
+    transfers_.emplace(tag, CtrlTransfer{std::move(a), dest_dc, *flow});
+    ++stats.transfers_started;
+  }
+  return lead;
+}
+
+void BdsController::RecordDelivery(JobId job, ServerId dest_server, SimTime now) {
+  ++deliveries_;
+  ++deliveries_this_cycle_;
+  server_last_delivery_[dest_server] = now;
+  if (job_completion_.count(job) == 0 && state_.JobComplete(job)) {
+    job_completion_[job] = now;
+  }
+}
+
+void BdsController::OnFlowComplete(const FlowRecord& record) {
+  if (fallback_.OnFlowComplete(record)) {
+    return;  // Decentralized-engine flow; its callback updated our stats.
+  }
+  if (record.tag2 != 0) {
+    return;  // Not ours (e.g. a client-injected flow).
+  }
+  auto it = transfers_.find(record.tag);
+  if (it == transfers_.end()) {
+    return;
+  }
+  CtrlTransfer t = std::move(it->second);
+  transfers_.erase(it);
+  for (int64_t b : t.assignment.blocks) {
+    in_flight_.erase(DeliveryKey{t.assignment.job, b, t.dest_dc});
+    (void)state_.NoteDelivery(t.assignment.job, b, t.assignment.src_server,
+                              t.assignment.dst_server);
+  }
+  RecordDelivery(t.assignment.job, t.assignment.dst_server, sim_.now());
+}
+
+StatusOr<RunReport> BdsController::Run(SimTime deadline) {
+  RunReport report;
+  const SimTime dt = options_.algorithm.cycle_length;
+  int64_t cycle = 0;
+  // Hard stop: generous bound so that a wedged configuration cannot spin.
+  const int64_t max_cycles = 10'000'000;
+
+  while (cycle < max_cycles) {
+    SimTime now = sim_.now();
+    if (now >= deadline - kFluidEpsilon) {
+      break;
+    }
+    RegisterArrivals(now);
+    ApplyFailures(now);
+
+    CycleStats stats;
+    stats.cycle = cycle;
+    stats.start_time = now;
+    stats.controller_up = ControllerUp(now);
+    deliveries_this_cycle_ = 0;
+
+    SimTime lead = 0.0;
+    if (stats.controller_up) {
+      if (fallback_was_active_) {
+        fallback_.Deactivate();
+        fallback_was_active_ = false;
+      }
+      lead = RunCentralizedCycle(now, stats);
+    } else {
+      if (!fallback_was_active_) {
+        fallback_.Activate();
+        fallback_was_active_ = true;
+      } else {
+        fallback_.Tick();  // Retry stalled receivers each cycle.
+      }
+    }
+
+    BDS_RETURN_IF_ERROR(sim_.AdvanceBy(std::max(0.0, std::min(dt, deadline - now) - lead)));
+    stats.blocks_delivered = deliveries_this_cycle_;
+    report.cycles.push_back(stats);
+    ++cycle;
+
+    bool all_arrived = next_arrival_ >= arriving_jobs_.size();
+    if (all_arrived && state_.AllComplete()) {
+      break;
+    }
+    // Catch wedged runs: nothing pending can ever complete (e.g. every
+    // holder failed). Stop rather than spin to the deadline.
+    if (all_arrived && !state_.AllComplete() && sim_.num_active_flows() == 0 &&
+        stats.controller_up && stats.transfers_started == 0 && stats.blocks_delivered == 0 &&
+        next_failure_ >= failures_.size()) {
+      bool outage_ahead = false;
+      for (const Outage& o : outages_) {
+        if (o.from > now) {
+          outage_ahead = true;
+        }
+      }
+      if (!outage_ahead) {
+        break;
+      }
+    }
+  }
+
+  report.completed = state_.AllComplete() && next_arrival_ >= arriving_jobs_.size();
+  report.deliveries = deliveries_;
+  report.job_completion = job_completion_;
+  report.origin_stats = state_.origin_stats();
+  report.control_delays = agent_monitor_.one_way_delays();
+  report.feedback_delays = agent_monitor_.feedback_delays();
+
+  SimTime latest = 0.0;
+  std::unordered_map<DcId, SimTime> dc_latest;
+  for (ServerId s : state_.AllDestinationServers()) {
+    auto it = server_last_delivery_.find(s);
+    SimTime t = it == server_last_delivery_.end() ? 0.0 : it->second;
+    if (state_.OwedByServer(s) == 0) {
+      report.server_completion.emplace_back(s, t);
+      DcId dc = topo_->server(s).dc;
+      dc_latest[dc] = std::max(dc_latest[dc], t);
+      latest = std::max(latest, t);
+    }
+  }
+  std::sort(report.server_completion.begin(), report.server_completion.end());
+  report.dc_completion = std::move(dc_latest);
+  report.completion_time = report.completed ? latest : sim_.now();
+  return report;
+}
+
+}  // namespace bds

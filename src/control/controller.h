@@ -1,0 +1,178 @@
+// The BDS controller: the cycle loop of Fig 8 driving the whole system.
+//
+// Every Delta-T the controller (1) reads agent/network state, (2) runs the
+// decoupled scheduling + routing algorithm, (3) pushes rate-pinned transfer
+// decisions to agents, which the simulator executes. In-flight transfers are
+// never interrupted by recomputation (non-blocking update, §5.1); their
+// deliveries are excluded from rescheduling and their rates from the
+// residual capacity handed to the LP.
+//
+// Fault tolerance (§5.3): server failures remove the agent's replicas and
+// cancel its flows; when every controller replica is down, agents fall back
+// to the decentralized engine until a master returns.
+
+#ifndef BDS_SRC_CONTROL_CONTROLLER_H_
+#define BDS_SRC_CONTROL_CONTROLLER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/decentralized_engine.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/control/monitors.h"
+#include "src/control/replication.h"
+#include "src/scheduler/bandwidth_separator.h"
+#include "src/scheduler/controller_algorithm.h"
+#include "src/scheduler/replica_state.h"
+#include "src/simulator/network_simulator.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+#include "src/workload/background_traffic.h"
+#include "src/workload/job.h"
+
+namespace bds {
+
+struct ControllerOptions {
+  ControllerAlgorithmOptions algorithm;
+  BandwidthSeparator::Options separation;
+  LatencyModel::Options latency;
+  DecentralizedEngine::Options fallback;
+  ControllerReplicaSet::Options replication;
+  DcId controller_dc = 0;
+  // An in-flight transfer expected to need more than this many further
+  // cycles (or starved to ~zero rate) is cancelled and re-planned; fully
+  // delivered blocks are credited first. This is the per-cycle decision
+  // refresh of §5.1 — without it a transfer the LP once allocated a tiny
+  // rate could linger forever while its blocks stay locked. Generous by
+  // default so healthy long transfers are left alone.
+  double restall_cycles = 20.0;
+  // Sample control-plane delays (Fig 11b/11c). Costs a little RNG work.
+  bool measure_delays = true;
+  // Charge the feedback-loop delay against the cycle: transfers start only
+  // after status collection + algorithm execution + decision push. This is
+  // what makes very short update cycles counter-productive (Fig 12c's knee
+  // at ~3 s). Off by default so laptop-scale runs aren't dominated by it.
+  bool model_decision_latency = false;
+  uint64_t seed = 1;
+};
+
+struct CycleStats {
+  int64_t cycle = 0;
+  SimTime start_time = 0.0;
+  bool controller_up = true;
+  int64_t scheduled_blocks = 0;
+  int64_t merged_subtasks = 0;
+  int64_t transfers_started = 0;
+  int64_t blocks_delivered = 0;  // Deliveries completing within this cycle.
+  double scheduling_seconds = 0.0;
+  double routing_seconds = 0.0;
+  double feedback_delay = 0.0;
+};
+
+struct RunReport {
+  bool completed = false;
+  SimTime completion_time = 0.0;
+  int64_t deliveries = 0;
+  std::vector<CycleStats> cycles;
+  std::unordered_map<JobId, SimTime> job_completion;
+  // Per destination server: when it finished receiving its shard.
+  std::vector<std::pair<ServerId, SimTime>> server_completion;
+  std::unordered_map<DcId, SimTime> dc_completion;
+  std::unordered_map<ServerId, ReplicaState::ServerOriginStats> origin_stats;
+  EmpiricalDistribution control_delays;   // One-way messages (Fig 11b).
+  EmpiricalDistribution feedback_delays;  // Full loop (Fig 11c).
+
+  std::vector<double> ServerCompletionMinutes() const;
+};
+
+class BdsController {
+ public:
+  BdsController(const Topology* topo, const WanRoutingTable* routing, ControllerOptions options);
+
+  // Jobs may arrive at any simulated time (trace replay); arrival_time in
+  // the past means "now".
+  Status SubmitJob(const MulticastJob& job);
+
+  // --- Failure script (applied as simulated time passes). ---
+  void ScheduleServerFailure(ServerId server, SimTime at);
+  void ScheduleServerRecovery(ServerId server, SimTime at);
+  void ScheduleControllerOutage(SimTime from, SimTime to);
+
+  // Attaches latency-sensitive traffic (not owned).
+  void SetBackgroundTraffic(BackgroundTrafficModel* model);
+
+  // Runs cycles until all submitted jobs complete or `deadline` passes.
+  StatusOr<RunReport> Run(SimTime deadline = kTimeInfinity);
+
+  NetworkSimulator* mutable_simulator() { return &sim_; }
+  const NetworkSimulator& simulator() const { return sim_; }
+  const ReplicaState& state() const { return state_; }
+
+ private:
+  struct CtrlTransfer {
+    TransferAssignment assignment;
+    DcId dest_dc = kInvalidDc;
+    FlowId flow = kInvalidFlow;
+  };
+  struct ServerFailure {
+    ServerId server;
+    SimTime at;
+    bool recovery = false;
+  };
+  struct Outage {
+    SimTime from;
+    SimTime to;
+  };
+
+  void RegisterArrivals(SimTime now);
+  void ApplyFailures(SimTime now);
+  bool ControllerUp(SimTime now);
+  // Returns the simulated time consumed before decisions took effect
+  // (> 0 only with model_decision_latency).
+  SimTime RunCentralizedCycle(SimTime now, CycleStats& stats);
+  // Cancels the transfer behind `tag`, credits whole delivered blocks, and
+  // returns the rest to pending.
+  void CancelAndCredit(int64_t tag);
+  void OnFlowComplete(const FlowRecord& record);
+  void RecordDelivery(JobId job, ServerId dest_server, SimTime now);
+
+  const Topology* topo_;
+  const WanRoutingTable* routing_;
+  ControllerOptions options_;
+
+  NetworkSimulator sim_;
+  ReplicaState state_;
+  ControllerAlgorithm algorithm_;
+  BandwidthSeparator separator_;
+  AgentMonitor agent_monitor_;
+  NetworkMonitor network_monitor_;
+  ControllerReplicaSet replicas_;
+  DecentralizedEngine fallback_;
+
+  std::vector<MulticastJob> arriving_jobs_;  // Sorted by arrival time.
+  size_t next_arrival_ = 0;
+  int64_t jobs_submitted_ = 0;
+
+  std::vector<ServerFailure> failures_;  // Sorted by time.
+  size_t next_failure_ = 0;
+  std::vector<Outage> outages_;
+  bool fallback_was_active_ = false;
+
+  std::unordered_map<int64_t, CtrlTransfer> transfers_;  // By flow tag.
+  int64_t next_tag_ = 0;
+  DeliveryKeySet in_flight_;
+
+  // Completion bookkeeping.
+  std::unordered_map<ServerId, SimTime> server_last_delivery_;
+  std::unordered_map<JobId, SimTime> job_completion_;
+  int64_t deliveries_ = 0;
+  int64_t deliveries_this_cycle_ = 0;
+
+  std::vector<DcId> active_agent_dcs_;  // DCs participating in current jobs.
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_CONTROL_CONTROLLER_H_

@@ -1,0 +1,72 @@
+#include "src/control/replication.h"
+
+#include "src/common/status.h"
+
+namespace bds {
+
+ControllerReplicaSet::ControllerReplicaSet(Options options) : options_(options) {
+  BDS_CHECK(options_.num_replicas >= 1);
+  BDS_CHECK(options_.failover_delay >= 0.0);
+  alive_.assign(static_cast<size_t>(options_.num_replicas), true);
+}
+
+Status ControllerReplicaSet::FailReplica(int idx, SimTime t) {
+  if (idx < 0 || idx >= num_replicas()) {
+    return InvalidArgumentError("FailReplica: no such replica");
+  }
+  if (!alive_[static_cast<size_t>(idx)]) {
+    return Status::Ok();  // Already down.
+  }
+  alive_[static_cast<size_t>(idx)] = false;
+  if (idx == master_) {
+    master_ = -1;
+    master_ready_at_ = t + options_.failover_delay;
+    MaybeElect(t);
+  }
+  return Status::Ok();
+}
+
+Status ControllerReplicaSet::RecoverReplica(int idx, SimTime t) {
+  if (idx < 0 || idx >= num_replicas()) {
+    return InvalidArgumentError("RecoverReplica: no such replica");
+  }
+  if (alive_[static_cast<size_t>(idx)]) {
+    return Status::Ok();
+  }
+  alive_[static_cast<size_t>(idx)] = true;
+  if (master_ < 0) {
+    master_ready_at_ = t + options_.failover_delay;
+    MaybeElect(t);
+  }
+  return Status::Ok();
+}
+
+void ControllerReplicaSet::MaybeElect(SimTime t) {
+  (void)t;
+  if (master_ >= 0) {
+    return;
+  }
+  for (int i = 0; i < num_replicas(); ++i) {
+    if (alive_[static_cast<size_t>(i)]) {
+      master_ = i;
+      ++elections_;
+      return;
+    }
+  }
+  // No live replica; stays headless until a recovery.
+}
+
+bool ControllerReplicaSet::HasMaster(SimTime t) { return MasterIndex(t) >= 0; }
+
+int ControllerReplicaSet::MasterIndex(SimTime t) {
+  MaybeElect(t);
+  if (master_ < 0) {
+    return -1;
+  }
+  if (t < master_ready_at_) {
+    return -1;  // Election / lease takeover still in progress.
+  }
+  return master_;
+}
+
+}  // namespace bds

@@ -1,0 +1,112 @@
+#include "src/core/service.h"
+
+#include <utility>
+
+namespace bds {
+
+ControllerOptions ToControllerOptions(const BdsOptions& options) {
+  ControllerOptions c;
+  c.algorithm.cycle_length = options.cycle_length;
+  c.algorithm.fptas_epsilon = options.fptas_epsilon;
+  c.algorithm.merge_subtasks = options.merge_subtasks;
+  c.algorithm.use_exact_lp = options.use_exact_lp;
+  c.algorithm.max_wan_routes = options.max_wan_routes;
+  c.algorithm.max_deliveries_per_cycle = options.max_deliveries_per_cycle;
+  c.separation.safety_threshold = options.safety_threshold;
+  c.separation.bulk_rate_cap = options.bulk_rate_cap;
+  c.fallback.visibility = options.fallback_visibility;
+  c.replication.num_replicas = options.controller_replicas;
+  c.controller_dc = options.controller_dc;
+  c.measure_delays = options.measure_delays;
+  c.model_decision_latency = options.model_decision_latency;
+  c.seed = options.seed;
+  c.latency.seed = options.seed ^ 0x17AB;
+  return c;
+}
+
+BdsService::BdsService(Topology topo, WanRoutingTable routing, BdsOptions options)
+    : topo_(std::move(topo)), routing_(std::move(routing)), options_(options) {
+  controller_ = std::make_unique<BdsController>(&topo_, &routing_, ToControllerOptions(options_));
+}
+
+StatusOr<std::unique_ptr<BdsService>> BdsService::Create(Topology topo, BdsOptions options) {
+  if (topo.num_dcs() < 2) {
+    return InvalidArgumentError("BdsService: need at least 2 DCs");
+  }
+  if (options.controller_dc < 0 || options.controller_dc >= topo.num_dcs()) {
+    return InvalidArgumentError("BdsService: controller DC out of range");
+  }
+  if (options.block_size <= 0.0 || options.cycle_length <= 0.0) {
+    return InvalidArgumentError("BdsService: block size and cycle length must be positive");
+  }
+  auto routing = WanRoutingTable::Build(topo, options.max_wan_routes);
+  if (!routing.ok()) {
+    return routing.status();
+  }
+  return std::unique_ptr<BdsService>(
+      new BdsService(std::move(topo), std::move(routing).value(), options));
+}
+
+StatusOr<JobId> BdsService::CreateJob(DcId source_dc, std::vector<DcId> dest_dcs, Bytes bytes,
+                                      SimTime start_time, std::string app_type) {
+  auto job = MakeJob(next_job_id_, source_dc, std::move(dest_dcs), bytes, options_.block_size,
+                     start_time, std::move(app_type));
+  if (!job.ok()) {
+    return job.status();
+  }
+  BDS_RETURN_IF_ERROR(controller_->SubmitJob(*job));
+  return next_job_id_++;
+}
+
+Status BdsService::SubmitJob(const MulticastJob& job) {
+  Status s = controller_->SubmitJob(job);
+  if (s.ok()) {
+    next_job_id_ = std::max(next_job_id_, job.id + 1);
+  }
+  return s;
+}
+
+void BdsService::InjectServerFailure(ServerId server, SimTime at) {
+  controller_->ScheduleServerFailure(server, at);
+}
+
+void BdsService::InjectServerRecovery(ServerId server, SimTime at) {
+  controller_->ScheduleServerRecovery(server, at);
+}
+
+void BdsService::InjectControllerOutage(SimTime from, SimTime to) {
+  controller_->ScheduleControllerOutage(from, to);
+}
+
+void BdsService::EnableBackgroundTraffic(BackgroundTrafficModel::Options options) {
+  background_ = std::make_unique<BackgroundTrafficModel>(&topo_, options);
+  controller_->SetBackgroundTraffic(background_.get());
+}
+
+StatusOr<RunReport> BdsService::Run(SimTime deadline) { return controller_->Run(deadline); }
+
+StatusOr<MulticastRunResult> BdsStrategy::Run(const Topology& topo,
+                                              const WanRoutingTable& routing,
+                                              const MulticastJob& job, uint64_t seed,
+                                              SimTime deadline) {
+  BdsOptions opt = options_;
+  opt.seed = seed;
+  ControllerOptions copt = ToControllerOptions(opt);
+  BdsController controller(&topo, &routing, copt);
+  BDS_RETURN_IF_ERROR(controller.SubmitJob(job));
+  auto report = controller.Run(deadline);
+  if (!report.ok()) {
+    return report.status();
+  }
+  MulticastRunResult result;
+  result.completed = report->completed;
+  result.completion_time = report->completion_time;
+  result.server_completion = report->server_completion;
+  for (const auto& [dc, t] : report->dc_completion) {
+    result.dc_completion.emplace(dc, t);
+  }
+  result.deliveries = report->deliveries;
+  return result;
+}
+
+}  // namespace bds

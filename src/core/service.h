@@ -1,0 +1,88 @@
+// BdsService — the library's main entry point.
+//
+// Mirrors the integration story of §5.4: an application names the source DC,
+// the destination DCs and the bulk data; BDS installs agents on the
+// intermediate servers and runs the distribution at the requested start
+// time. Here the "deployment" is a simulated multi-DC testbed, so Run()
+// advances virtual time until every job lands.
+//
+//   auto service = BdsService::Create(BuildGeoTopology(topo_options).value(),
+//                                     BdsOptions{});
+//   JobId job = service->CreateJob(/*source_dc=*/0, /*dest_dcs=*/{1, 2, 3},
+//                                  /*bytes=*/GB(64.0)).value();
+//   RunReport report = service->Run().value();
+
+#ifndef BDS_SRC_CORE_SERVICE_H_
+#define BDS_SRC_CORE_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/strategy.h"
+#include "src/common/status.h"
+#include "src/core/options.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+#include "src/workload/background_traffic.h"
+#include "src/workload/job.h"
+
+namespace bds {
+
+class BdsService {
+ public:
+  // Builds the WAN routing table and control plane for `topo`.
+  static StatusOr<std::unique_ptr<BdsService>> Create(Topology topo, BdsOptions options);
+
+  // Registers a multicast job; `start_time` is in simulation seconds.
+  StatusOr<JobId> CreateJob(DcId source_dc, std::vector<DcId> dest_dcs, Bytes bytes,
+                            SimTime start_time = 0.0, std::string app_type = "app");
+
+  // Submits an externally built job (trace replay).
+  Status SubmitJob(const MulticastJob& job);
+
+  // Failure / traffic injection — must be called before Run().
+  void InjectServerFailure(ServerId server, SimTime at);
+  void InjectServerRecovery(ServerId server, SimTime at);
+  void InjectControllerOutage(SimTime from, SimTime to);
+  // Enables diurnal latency-sensitive traffic on all WAN links.
+  void EnableBackgroundTraffic(BackgroundTrafficModel::Options options);
+
+  // Runs everything to completion (or deadline) and reports.
+  StatusOr<RunReport> Run(SimTime deadline = kTimeInfinity);
+
+  const Topology& topology() const { return topo_; }
+  const WanRoutingTable& routing() const { return routing_; }
+  BdsController* mutable_controller() { return controller_.get(); }
+  const BdsOptions& options() const { return options_; }
+
+ private:
+  BdsService(Topology topo, WanRoutingTable routing, BdsOptions options);
+
+  Topology topo_;
+  WanRoutingTable routing_;
+  BdsOptions options_;
+  std::unique_ptr<BackgroundTrafficModel> background_;
+  std::unique_ptr<BdsController> controller_;
+  JobId next_job_id_ = 0;
+};
+
+// MulticastStrategy adapter so BDS slots into the baseline comparison
+// harness (Table 3, Fig 9).
+class BdsStrategy : public MulticastStrategy {
+ public:
+  BdsStrategy() : BdsStrategy(BdsOptions{}) {}
+  explicit BdsStrategy(BdsOptions options) : options_(options) {}
+
+  std::string name() const override { return "bds"; }
+  StatusOr<MulticastRunResult> Run(const Topology& topo, const WanRoutingTable& routing,
+                                   const MulticastJob& job, uint64_t seed,
+                                   SimTime deadline) override;
+
+ private:
+  BdsOptions options_;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_CORE_SERVICE_H_

@@ -1,0 +1,15 @@
+#include "src/lp/lp_problem.h"
+
+namespace bds {
+
+int LpProblem::AddVariable(double objective, double upper_bound) {
+  objective_.push_back(objective);
+  upper_bounds_.push_back(upper_bound);
+  return static_cast<int>(objective_.size()) - 1;
+}
+
+void LpProblem::AddConstraint(std::vector<LpTerm> terms, Relation relation, double rhs) {
+  constraints_.push_back(LpConstraint{std::move(terms), relation, rhs});
+}
+
+}  // namespace bds

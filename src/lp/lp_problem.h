@@ -1,0 +1,77 @@
+// Linear program representation.
+//
+//   maximize   c^T x
+//   subject to A x (<= | = | >=) b,   x >= 0,   x <= upper (optional)
+//
+// Rows are stored sparsely; the simplex solver densifies internally. This is
+// the "standard LP" machinery the paper benchmarks BDS against (MATLAB
+// linprog in §6.3.4) — deliberately general and exact, not fast.
+
+#ifndef BDS_SRC_LP_LP_PROBLEM_H_
+#define BDS_SRC_LP_LP_PROBLEM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace bds {
+
+enum class Relation {
+  kLessEqual,
+  kEqual,
+  kGreaterEqual,
+};
+
+struct LpTerm {
+  int variable = 0;
+  double coefficient = 0.0;
+};
+
+struct LpConstraint {
+  std::vector<LpTerm> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+class LpProblem {
+ public:
+  // Adds a variable with the given objective coefficient and optional upper
+  // bound (negative = unbounded above). Returns its index.
+  int AddVariable(double objective, double upper_bound = -1.0);
+
+  // Adds a constraint; terms may repeat variables (coefficients add up).
+  void AddConstraint(std::vector<LpTerm> terms, Relation relation, double rhs);
+
+  int num_variables() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  const std::vector<LpConstraint>& constraints() const { return constraints_; }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> upper_bounds_;  // < 0 means no explicit bound.
+  std::vector<LpConstraint> constraints_;
+};
+
+enum class LpOutcome {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpSolution {
+  LpOutcome outcome = LpOutcome::kInfeasible;
+  double objective_value = 0.0;
+  std::vector<double> values;
+  int64_t iterations = 0;
+
+  bool optimal() const { return outcome == LpOutcome::kOptimal; }
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_LP_LP_PROBLEM_H_

@@ -1,0 +1,35 @@
+#include "src/scheduler/bandwidth_separator.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace bds {
+
+BandwidthSeparator::BandwidthSeparator(const Topology* topo, Options options)
+    : topo_(topo), options_(options) {
+  BDS_CHECK(topo != nullptr);
+  BDS_CHECK(options_.safety_threshold > 0.0 && options_.safety_threshold <= 1.0);
+}
+
+std::vector<Rate> BandwidthSeparator::ResidualCapacities(
+    const std::vector<Rate>& online_rates) const {
+  std::vector<Rate> residual(static_cast<size_t>(topo_->num_links()), 0.0);
+  for (LinkId l = 0; l < topo_->num_links(); ++l) {
+    const Link& link = topo_->link(l);
+    Rate online =
+        static_cast<size_t>(l) < online_rates.size() ? online_rates[static_cast<size_t>(l)] : 0.0;
+    if (link.type == LinkType::kWan) {
+      Rate budget = link.capacity * options_.safety_threshold - online;
+      if (options_.bulk_rate_cap > 0.0) {
+        budget = std::min(budget, options_.bulk_rate_cap);
+      }
+      residual[static_cast<size_t>(l)] = std::max(0.0, budget);
+    } else {
+      residual[static_cast<size_t>(l)] = link.capacity;
+    }
+  }
+  return residual;
+}
+
+}  // namespace bds

@@ -1,0 +1,380 @@
+#include "src/scheduler/controller_algorithm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/status.h"
+#include "src/lp/mcf.h"
+#include "src/topology/path.h"
+
+namespace bds {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+ControllerAlgorithm::ControllerAlgorithm(const Topology* topo, const WanRoutingTable* routing,
+                                         ControllerAlgorithmOptions options)
+    : topo_(topo), routing_(routing), options_(options) {
+  BDS_CHECK(topo != nullptr && routing != nullptr);
+  BDS_CHECK(options_.cycle_length > 0.0);
+  BDS_CHECK(options_.max_wan_routes >= 1);
+  BDS_CHECK(options_.budget_fraction > 0.0 && options_.budget_fraction <= 1.0);
+}
+
+std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
+    const ReplicaState& state, const std::vector<Rate>& residual_capacities,
+    const DeliveryKeySet& in_flight) {
+  std::vector<PendingDelivery> pending = state.PendingDeliveries();
+
+  if (options_.schedule_all) {
+    // Joint formulation: every outstanding delivery goes to the solver.
+    std::vector<Selected> all;
+    all.reserve(pending.size());
+    for (const PendingDelivery& p : pending) {
+      if (p.dest_server == kInvalidServer || state.ServerFailed(p.dest_server) ||
+          in_flight.count(DeliveryKey{p.job, p.block, p.dc}) != 0) {
+        continue;
+      }
+      const MulticastJob* job = state.FindJob(p.job);
+      BDS_CHECK(job != nullptr);
+      DcId dest_dc = topo_->server(p.dest_server).dc;
+      for (ServerId h : state.Holders(p.job, p.block)) {
+        DcId src_dc = topo_->server(h).dc;
+        if (h != p.dest_server && (src_dc == dest_dc || routing_->Reachable(src_dc, dest_dc))) {
+          all.push_back(Selected{p, job->BlockSizeOf(p.block), h});
+          break;
+        }
+      }
+    }
+    return all;
+  }
+
+  // Per-server byte budgets for this cycle (constraint (3) of §4.1): a
+  // server can upload/download at most rate * Delta-T bytes per cycle, where
+  // rate is the residual on its NIC link.
+  auto link_residual = [&](LinkId l) {
+    return static_cast<size_t>(l) < residual_capacities.size()
+               ? residual_capacities[static_cast<size_t>(l)]
+               : topo_->link(l).capacity;
+  };
+  std::unordered_map<ServerId, Bytes> up_budget;
+  std::unordered_map<ServerId, Bytes> down_budget;
+  auto up_left = [&](ServerId s) -> Bytes& {
+    auto [it, inserted] = up_budget.try_emplace(s);
+    if (inserted) {
+      it->second =
+          link_residual(topo_->server(s).uplink) * options_.cycle_length * options_.budget_fraction;
+    }
+    return it->second;
+  };
+  auto down_left = [&](ServerId s) -> Bytes& {
+    auto [it, inserted] = down_budget.try_emplace(s);
+    if (inserted) {
+      it->second = link_residual(topo_->server(s).downlink) * options_.cycle_length *
+                   options_.budget_fraction;
+    }
+    return it->second;
+  };
+
+  // Generalized rarest-first with *speculative* duplicate counting (the
+  // controller's speculation of §5.1): scheduling a copy of block b raises
+  // b's effective duplicate count immediately, so within one cycle BDS
+  // spreads distinct blocks across destinations first and replicates the
+  // same block to all m destinations only when budget remains. The extra
+  // copies materialize next cycle as new overlay sources.
+  struct Candidate {
+    int eff_dup;
+    uint64_t salt;  // Deterministic pseudo-random tie-break.
+    size_t index;   // Into `pending`.
+    bool operator>(const Candidate& o) const {
+      if (eff_dup != o.eff_dup) {
+        return eff_dup > o.eff_dup;
+      }
+      if (salt != o.salt) {
+        return salt > o.salt;
+      }
+      return index > o.index;
+    }
+  };
+  std::unordered_map<uint64_t, int> extra_dups;  // (job, block) -> copies scheduled now.
+  auto block_key = [](JobId job, int64_t block) {
+    return static_cast<uint64_t>(job) * 0x1000003 + static_cast<uint64_t>(block);
+  };
+  // The tie-break salt spreads equally-rare candidates across destination
+  // DCs and blocks; ordering by pending index instead would aim every
+  // first copy at the lowest-numbered DC and leave the others' downlinks
+  // idle for the whole cycle.
+  auto candidate_salt = [&](const PendingDelivery& p) {
+    uint64_t h = block_key(p.job, p.block) * 0x9E3779B97F4A7C15ULL +
+                 static_cast<uint64_t>(p.dc) * 0xC2B2AE3D27D4EB4FULL;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 32;
+    return h;
+  };
+  std::vector<Candidate> initial;
+  initial.reserve(pending.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    switch (options_.policy) {
+      case SchedulingPolicy::kRarestFirst:
+        initial.push_back(Candidate{pending[i].duplicates, candidate_salt(pending[i]), i});
+        break;
+      case SchedulingPolicy::kRandom:
+        // Ignore duplicates entirely: order is the pseudo-random salt.
+        initial.push_back(Candidate{0, candidate_salt(pending[i]), i});
+        break;
+      case SchedulingPolicy::kSequential:
+        // Naive order: pending index (job, block, dc).
+        initial.push_back(Candidate{0, static_cast<uint64_t>(i), i});
+        break;
+    }
+  }
+  // O(P) heapify — at 10^6 outstanding blocks per-push heap building alone
+  // would blow the paper's sub-second budget (Fig 11a).
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>> heap(
+      std::greater<Candidate>{}, std::move(initial));
+
+  // Early-exit bookkeeping: once every owed destination server's download
+  // budget is saturated, or selection stops making progress, the remaining
+  // (possibly millions of) candidates cannot be scheduled this cycle.
+  const int64_t owed_servers = state.NumOwedServers();
+  std::unordered_set<ServerId> saturated_dests;
+  int64_t failures_since_success = 0;
+  const int64_t failure_patience =
+      64 * static_cast<int64_t>(topo_->num_servers()) + 4096;
+
+  std::vector<Selected> selected;
+  while (!heap.empty()) {
+    if (options_.max_deliveries_per_cycle > 0 &&
+        static_cast<int64_t>(selected.size()) >= options_.max_deliveries_per_cycle) {
+      break;
+    }
+    if (static_cast<int64_t>(saturated_dests.size()) >= owed_servers ||
+        failures_since_success > failure_patience) {
+      break;
+    }
+    Candidate c = heap.top();
+    heap.pop();
+    const PendingDelivery& p = pending[c.index];
+    if (options_.policy == SchedulingPolicy::kRarestFirst) {
+      int now_dup = p.duplicates + extra_dups[block_key(p.job, p.block)];
+      if (now_dup > c.eff_dup) {
+        c.eff_dup = now_dup;  // Stale: re-queue with the updated key.
+        heap.push(c);
+        continue;
+      }
+    }
+    if (in_flight.count(DeliveryKey{p.job, p.block, p.dc}) != 0) {
+      continue;
+    }
+    if (p.dest_server == kInvalidServer || state.ServerFailed(p.dest_server)) {
+      continue;  // No live agent can receive this delivery right now.
+    }
+    const MulticastJob* job = state.FindJob(p.job);
+    BDS_CHECK(job != nullptr);
+    Bytes bytes = job->BlockSizeOf(p.block);
+
+    // A block larger than a whole cycle budget may still be scheduled (it
+    // simply spans cycles as an in-flight transfer), so the budget check is
+    // "budget not yet exhausted", and charging may drive it negative.
+    if (down_left(p.dest_server) <= 0.0) {
+      saturated_dests.insert(p.dest_server);
+      ++failures_since_success;
+      continue;  // Destination NIC budget exhausted this cycle.
+    }
+
+    // Source selection: among the holders with enough upload budget left,
+    // take the least-loaded one (largest remaining budget), breaking ties
+    // pseudo-randomly so equal holders share the load — this global
+    // balancing is what avoids the hotspots local adaptation creates
+    // (§2.3 Limitation 1).
+    const std::vector<ServerId>& holders = state.Holders(p.job, p.block);
+    ServerId best_src = kInvalidServer;
+    Bytes best_budget = 0.0;
+    if (!holders.empty()) {
+      uint64_t salt = block_key(p.job, p.block) * 0x9E3779B97F4A7C15ULL +
+                      static_cast<uint64_t>(p.dc) * 0x85EBCA6B;
+      size_t offset = static_cast<size_t>(salt % holders.size());
+      DcId dest_dc = topo_->server(p.dest_server).dc;
+      for (size_t i = 0; i < holders.size(); ++i) {
+        ServerId h = holders[(i + offset) % holders.size()];
+        if (h == p.dest_server) {
+          continue;
+        }
+        DcId src_dc = topo_->server(h).dc;
+        if (src_dc != dest_dc && !routing_->Reachable(src_dc, dest_dc)) {
+          continue;  // No WAN route from this holder to the destination.
+        }
+        Bytes left = up_left(h);
+        if (left > 0.0 && left > best_budget * (1.0 + 1e-9)) {
+          best_budget = left;
+          best_src = h;
+        }
+      }
+    }
+    if (best_src == kInvalidServer) {
+      ++failures_since_success;
+      continue;  // No holder can upload this block this cycle.
+    }
+
+    failures_since_success = 0;
+    up_left(best_src) -= bytes;
+    down_left(p.dest_server) -= bytes;
+    ++extra_dups[block_key(p.job, p.block)];
+    selected.push_back(Selected{p, bytes, best_src});
+  }
+  return selected;
+}
+
+void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
+                                      const std::vector<Rate>& residual_capacities,
+                                      CycleDecision& decision) {
+  if (selected.empty()) {
+    return;
+  }
+
+  // Merge deliveries into subtasks keyed by (src, dst) server pair (§5.1);
+  // with merging disabled every delivery is its own commodity.
+  struct Subtask {
+    ServerId src;
+    ServerId dst;
+    JobId job;
+    std::vector<int64_t> blocks;
+    Bytes bytes = 0.0;
+  };
+  std::vector<Subtask> subtasks;
+  if (options_.merge_subtasks) {
+    std::map<std::tuple<ServerId, ServerId, JobId>, size_t> index;
+    for (const Selected& s : selected) {
+      auto key = std::make_tuple(s.src_server, s.delivery.dest_server, s.delivery.job);
+      auto [it, inserted] = index.try_emplace(key, subtasks.size());
+      if (inserted) {
+        subtasks.push_back(
+            Subtask{s.src_server, s.delivery.dest_server, s.delivery.job, {}, 0.0});
+      }
+      Subtask& st = subtasks[it->second];
+      st.blocks.push_back(s.delivery.block);
+      st.bytes += s.bytes;
+    }
+  } else {
+    subtasks.reserve(selected.size());
+    for (const Selected& s : selected) {
+      subtasks.push_back(Subtask{s.src_server, s.delivery.dest_server, s.delivery.job,
+                                 {s.delivery.block}, s.bytes});
+    }
+  }
+  decision.merged_subtasks = static_cast<int64_t>(subtasks.size());
+
+  // Build the path-based MCF: one commodity per subtask; demand is the rate
+  // that finishes the subtask within the cycle.
+  McfInstance instance;
+  instance.capacities = residual_capacities;
+  instance.capacities.resize(static_cast<size_t>(topo_->num_links()),
+                             0.0);  // Defensive: full length.
+  std::vector<std::vector<ServerPath>> subtask_paths(subtasks.size());
+  for (size_t i = 0; i < subtasks.size(); ++i) {
+    const Subtask& st = subtasks[i];
+    McfCommodity commodity;
+    commodity.demand = st.bytes / options_.cycle_length;
+    std::vector<ServerPath> paths = EnumerateServerPaths(*topo_, *routing_, st.src, st.dst);
+    if (static_cast<int>(paths.size()) > options_.max_wan_routes) {
+      paths.resize(static_cast<size_t>(options_.max_wan_routes));
+    }
+    for (const ServerPath& p : paths) {
+      McfPath mp;
+      mp.links.reserve(p.links.size());
+      for (LinkId l : p.links) {
+        mp.links.push_back(static_cast<int>(l));
+      }
+      commodity.paths.push_back(std::move(mp));
+    }
+    subtask_paths[i] = std::move(paths);
+    instance.commodities.push_back(std::move(commodity));
+  }
+
+  McfResult flows = options_.use_exact_lp ? SolveMcfSimplex(instance)
+                                          : SolveMcfFptas(instance, options_.fptas_epsilon);
+  if (!flows.ok) {
+    return;  // No routing possible this cycle (e.g. LP hit iteration limit).
+  }
+
+  // Turn per-path flows into transfer assignments. Blocks are atomic, so a
+  // subtask's blocks are split across its paths proportionally to the
+  // allocated rates.
+  for (size_t i = 0; i < subtasks.size(); ++i) {
+    const Subtask& st = subtasks[i];
+    const std::vector<ServerPath>& paths = subtask_paths[i];
+    const std::vector<double>& path_flow = flows.flow[i];
+    double total = 0.0;
+    for (double f : path_flow) {
+      total += f;
+    }
+    if (total <= kFluidEpsilon || paths.empty()) {
+      continue;  // Nothing allocated; the delivery stays pending.
+    }
+    int64_t num_blocks = static_cast<int64_t>(st.blocks.size());
+    // Provisional block counts per path, largest-rate path absorbs rounding.
+    size_t largest = 0;
+    std::vector<int64_t> counts(paths.size(), 0);
+    int64_t assigned = 0;
+    for (size_t p = 0; p < paths.size(); ++p) {
+      if (path_flow[p] > path_flow[largest]) {
+        largest = p;
+      }
+      counts[p] = static_cast<int64_t>(static_cast<double>(num_blocks) * path_flow[p] / total);
+      assigned += counts[p];
+    }
+    counts[largest] += num_blocks - assigned;
+
+    int64_t cursor = 0;
+    double bytes_per_block = st.bytes / static_cast<double>(num_blocks);
+    for (size_t p = 0; p < paths.size(); ++p) {
+      if (counts[p] <= 0 || path_flow[p] <= kFluidEpsilon) {
+        // Re-credit blocks that landed on a zero-rate path to the largest.
+        if (counts[p] > 0 && p != largest) {
+          counts[largest] += counts[p];
+        }
+        continue;
+      }
+      TransferAssignment t;
+      t.job = st.job;
+      t.blocks.assign(st.blocks.begin() + cursor, st.blocks.begin() + cursor + counts[p]);
+      cursor += counts[p];
+      t.bytes = bytes_per_block * static_cast<double>(counts[p]);
+      t.src_server = st.src;
+      t.dst_server = st.dst;
+      t.path = paths[p];
+      t.rate = path_flow[p];
+      decision.transfers.push_back(std::move(t));
+    }
+  }
+}
+
+CycleDecision ControllerAlgorithm::Decide(int64_t cycle, const ReplicaState& state,
+                                          const std::vector<Rate>& residual_capacities,
+                                          const DeliveryKeySet& in_flight) {
+  CycleDecision decision;
+  decision.cycle = cycle;
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<Selected> selected = ScheduleBlocks(state, residual_capacities, in_flight);
+  decision.scheduled_blocks = static_cast<int64_t>(selected.size());
+  decision.scheduling_seconds = SecondsSince(t0);
+
+  auto t1 = std::chrono::steady_clock::now();
+  RouteBlocks(std::move(selected), residual_capacities, decision);
+  decision.routing_seconds = SecondsSince(t1);
+  return decision;
+}
+
+}  // namespace bds

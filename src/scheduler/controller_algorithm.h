@@ -1,0 +1,124 @@
+// The BDS controller's per-cycle decision logic (§4) — the paper's core
+// contribution. Decoupled into:
+//
+//   Scheduling (§4.3): generalized rarest-first selection of the block
+//   deliveries to attempt this cycle, bounded by per-server upload/download
+//   budgets (constraint (3) of §4.1), with balanced source selection.
+//
+//   Routing (§4.4): a max-throughput path-based multicommodity flow over the
+//   selected deliveries, after merging blocks with the same (source,
+//   destination) server pair into subtasks (§5.1). Solved with the
+//   Garg–Könemann FPTAS by default; `use_exact_lp` switches to the exact
+//   simplex ("standard LP"), and `merge_subtasks=false` disables merging —
+//   together these reproduce the paper's Fig 13a/13b ablation.
+
+#ifndef BDS_SRC_SCHEDULER_CONTROLLER_ALGORITHM_H_
+#define BDS_SRC_SCHEDULER_CONTROLLER_ALGORITHM_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/scheduler/decision.h"
+#include "src/scheduler/replica_state.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+
+namespace bds {
+
+// Key for deliveries already in flight (excluded from re-scheduling —
+// the non-blocking update of §5.1).
+struct DeliveryKey {
+  JobId job = kInvalidJob;
+  int64_t block = -1;
+  DcId dc = kInvalidDc;
+
+  bool operator==(const DeliveryKey& o) const {
+    return job == o.job && block == o.block && dc == o.dc;
+  }
+};
+
+struct DeliveryKeyHash {
+  size_t operator()(const DeliveryKey& k) const {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<uint64_t>(k.job));
+    mix(static_cast<uint64_t>(k.block));
+    mix(static_cast<uint64_t>(k.dc));
+    return static_cast<size_t>(h);
+  }
+};
+
+using DeliveryKeySet = std::unordered_set<DeliveryKey, DeliveryKeyHash>;
+
+// Block-selection policy for the scheduling step. The paper's BDS uses
+// generalized rarest-first (§4.3); the alternatives exist for the ablation
+// bench showing why availability balancing matters (appendix theorem).
+enum class SchedulingPolicy {
+  kRarestFirst,  // Fewest replicas first, with speculative duplicate counts.
+  kRandom,       // Uniformly random among pending deliveries.
+  kSequential,   // Block order, destination-major (naive).
+};
+
+struct ControllerAlgorithmOptions {
+  SimTime cycle_length = 3.0;  // Delta-T, the paper's default.
+  SchedulingPolicy policy = SchedulingPolicy::kRarestFirst;
+  double fptas_epsilon = 0.1;
+  bool merge_subtasks = true;  // §5.1 block merging.
+  bool use_exact_lp = false;   // Standard-LP mode (Fig 13a baseline).
+  // Joint formulation: skip the scheduling step entirely and hand EVERY
+  // outstanding delivery to the routing solver as its own commodity — the
+  // undecoupled "standard routing formulation" of §3/§6.3.4 whose running
+  // time explodes with block count. Combine with use_exact_lp and
+  // merge_subtasks=false for the paper's Fig 13a baseline.
+  bool schedule_all = false;
+  int max_wan_routes = 3;      // Candidate WAN routes per server pair.
+  // Fraction of a server's per-cycle byte budget the scheduler may commit.
+  // Leaving headroom lets the (1 - eps)-approximate routing step satisfy
+  // every scheduled demand in full, so transfers finish within the cycle
+  // instead of straggling into the next one and blocking its budget.
+  double budget_fraction = 0.9;
+  // Optional hard cap on deliveries scheduled per cycle; 0 = capacity-driven.
+  int64_t max_deliveries_per_cycle = 0;
+};
+
+class ControllerAlgorithm {
+ public:
+  ControllerAlgorithm(const Topology* topo, const WanRoutingTable* routing,
+                      ControllerAlgorithmOptions options);
+
+  // Computes this cycle's transfers. `residual_capacities` is per LinkId,
+  // already net of latency-sensitive traffic and in-flight bulk transfers
+  // (see BandwidthSeparator); `in_flight` deliveries are skipped.
+  CycleDecision Decide(int64_t cycle, const ReplicaState& state,
+                       const std::vector<Rate>& residual_capacities,
+                       const DeliveryKeySet& in_flight);
+
+  const ControllerAlgorithmOptions& options() const { return options_; }
+
+ private:
+  struct Selected {
+    PendingDelivery delivery;
+    Bytes bytes = 0.0;
+    ServerId src_server = kInvalidServer;
+  };
+
+  // Scheduling step: rarest-first selection under capacity budgets.
+  std::vector<Selected> ScheduleBlocks(const ReplicaState& state,
+                                       const std::vector<Rate>& residual_capacities,
+                                       const DeliveryKeySet& in_flight);
+
+  // Routing step: merge into subtasks, build the MCF, allocate rates.
+  void RouteBlocks(std::vector<Selected> selected, const std::vector<Rate>& residual_capacities,
+                   CycleDecision& decision);
+
+  const Topology* topo_;
+  const WanRoutingTable* routing_;
+  ControllerAlgorithmOptions options_;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_SCHEDULER_CONTROLLER_ALGORITHM_H_

@@ -1,0 +1,43 @@
+// Output of the controller's per-cycle decision logic: the 〈w, f〉 tuples of
+// §4.1 in executable form — which blocks move, between which servers, along
+// which path, at what rate.
+
+#ifndef BDS_SRC_SCHEDULER_DECISION_H_
+#define BDS_SRC_SCHEDULER_DECISION_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/topology/path.h"
+
+namespace bds {
+
+// One scheduled transfer: `blocks` of `job` from src_server to dst_server
+// along `path` at `rate`. Blocks sharing (src, dst) are merged into one
+// subtask (§5.1), so a decision typically carries many blocks per entry.
+struct TransferAssignment {
+  JobId job = kInvalidJob;
+  std::vector<int64_t> blocks;
+  Bytes bytes = 0.0;  // Total payload of `blocks`.
+  ServerId src_server = kInvalidServer;
+  ServerId dst_server = kInvalidServer;
+  ServerPath path;
+  Rate rate = 0.0;
+};
+
+struct CycleDecision {
+  int64_t cycle = 0;
+  std::vector<TransferAssignment> transfers;
+
+  // Controller-side instrumentation (Fig 11a / 13a).
+  double scheduling_seconds = 0.0;
+  double routing_seconds = 0.0;
+  int64_t scheduled_blocks = 0;   // Block deliveries picked this cycle.
+  int64_t merged_subtasks = 0;    // Commodities after merging.
+
+  double total_seconds() const { return scheduling_seconds + routing_seconds; }
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_SCHEDULER_DECISION_H_

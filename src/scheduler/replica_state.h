@@ -1,0 +1,150 @@
+// Global view of block replica placement — the state the BDS controller
+// pulls from agents every cycle (§5.1 step 1).
+//
+// Placement model: a job's file is sharded evenly across the servers of each
+// DC — block b lives on server ShardIndex(job, b, dc, S) of every DC that
+// stores a copy (the paper's pilot stores files "evenly across all these
+// 640 servers").
+// A destination DC is complete when all of its assigned servers received
+// their shard blocks; any server that holds a block can act as an overlay
+// relay source for it (store-and-forward).
+
+#ifndef BDS_SRC_SCHEDULER_REPLICA_STATE_H_
+#define BDS_SRC_SCHEDULER_REPLICA_STATE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/topology/topology.h"
+#include "src/workload/job.h"
+
+namespace bds {
+
+// Deterministic placement rule shared by every component that needs to know
+// where a block lives: block `block` of `job` is stored on server index
+// ShardIndex(...) within each DC that holds a copy. The hash scatters one
+// server's shard across many holders in other DCs — matching real sharded
+// storage, and the precondition for the hotspot effects of §2.3.
+inline size_t ShardIndex(JobId job, int64_t block, DcId dc, size_t num_servers) {
+  uint64_t h = static_cast<uint64_t>(block) * 0x9E3779B97F4A7C15ULL +
+               static_cast<uint64_t>(job) * 0xC2B2AE3D27D4EB4FULL +
+               static_cast<uint64_t>(dc) * 0x165667B19E3779F9ULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h % num_servers);
+}
+
+// One (job, block, destination DC) delivery still owed.
+struct PendingDelivery {
+  JobId job = kInvalidJob;
+  int64_t block = -1;
+  DcId dc = kInvalidDc;
+  ServerId dest_server = kInvalidServer;  // Fixed by the sharding rule.
+  int duplicates = 0;                     // Holders across the network now.
+};
+
+class ReplicaState {
+ public:
+  explicit ReplicaState(const Topology* topo);
+
+  // Registers a job: source DC servers hold their shard blocks; all
+  // destination DCs owe all blocks.
+  Status AddJob(const MulticastJob& job);
+
+  // Marks `server` as holding (job, block); updates DC presence and
+  // outstanding-delivery bookkeeping. Idempotent.
+  Status AddReplica(JobId job, int64_t block, ServerId server);
+
+  // Removes a server from every holder set (server failure). Its assigned
+  // deliveries become owed again unless another server in its DC holds the
+  // block (with fixed sharding this reverts its undelivered shard blocks).
+  void RemoveServer(ServerId server);
+
+  // Brings a failed server back (agent restart, §5.3). It returns empty —
+  // whatever it held was lost with the failure — and becomes eligible to
+  // receive deliveries and act as a source again.
+  void RestoreServer(ServerId server);
+
+  bool ServerHasBlock(JobId job, int64_t block, ServerId server) const;
+  bool DcHasBlock(JobId job, int64_t block, DcId dc) const;
+
+  // Number of servers currently holding (job, block).
+  int DuplicateCount(JobId job, int64_t block) const;
+
+  // Servers holding (job, block), for source selection.
+  const std::vector<ServerId>& Holders(JobId job, int64_t block) const;
+
+  // The fixed destination server of (job, block) within `dc`.
+  ServerId AssignedServer(JobId job, int64_t block, DcId dc) const;
+
+  // All deliveries still owed, with current duplicate counts.
+  std::vector<PendingDelivery> PendingDeliveries() const;
+  int64_t num_pending() const { return pending_count_; }
+
+  bool JobComplete(JobId job) const;
+  bool AllComplete() const { return pending_count_ == 0; }
+
+  // Outstanding shard blocks a destination server still has to receive
+  // (across all jobs). Used to record per-server completion times.
+  int64_t OwedByServer(ServerId server) const;
+
+  // Number of destination servers still owed at least one block.
+  int64_t NumOwedServers() const;
+
+  // Whether `server` was removed by RemoveServer (agent failure). Failed
+  // servers never hold blocks and cannot receive deliveries.
+  bool ServerFailed(ServerId server) const { return failed_servers_.count(server) != 0; }
+
+  // Every destination server of every registered job.
+  std::vector<ServerId> AllDestinationServers() const;
+
+  const MulticastJob* FindJob(JobId job) const;
+  const std::vector<JobId>& job_ids() const { return job_ids_; }
+
+  // Blocks fetched into a DC whose flow source was the job's origin DC,
+  // vs. total fetched — the Fig 13c "origin proportion" per destination
+  // server. Recorded by NoteDelivery.
+  struct ServerOriginStats {
+    int64_t from_origin = 0;
+    int64_t total = 0;
+  };
+  // Marks the delivery of (job, block) to dest_server from src_server, and
+  // updates both the replica map and origin stats.
+  Status NoteDelivery(JobId job, int64_t block, ServerId src_server, ServerId dest_server);
+  const std::unordered_map<ServerId, ServerOriginStats>& origin_stats() const {
+    return origin_stats_;
+  }
+
+ private:
+  // DC sets are 64-bit masks: BDS deployments span 10-30 DCs (the paper's
+  // fleet), and AddJob rejects topologies beyond 64.
+  struct BlockInfo {
+    std::vector<ServerId> holders;
+    uint64_t dc_present = 0;  // Bit d: some server in DC d holds the block.
+    uint64_t dc_owed = 0;     // Bit d: destination DC d still waiting.
+  };
+  struct JobInfo {
+    MulticastJob job;
+    std::vector<BlockInfo> blocks;
+    int64_t owed = 0;  // Outstanding (block, dc) deliveries.
+  };
+
+  JobInfo* Find(JobId job);
+  const JobInfo* Find(JobId job) const;
+
+  const Topology* topo_;
+  std::unordered_map<JobId, JobInfo> jobs_;
+  std::vector<JobId> job_ids_;
+  std::unordered_set<ServerId> failed_servers_;
+  std::unordered_map<ServerId, int64_t> owed_by_server_;
+  int64_t pending_count_ = 0;
+  std::unordered_map<ServerId, ServerOriginStats> origin_stats_;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_SCHEDULER_REPLICA_STATE_H_

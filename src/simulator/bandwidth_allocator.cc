@@ -1,0 +1,149 @@
+#include "src/simulator/bandwidth_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/status.h"
+
+namespace bds {
+
+void BandwidthAllocator::Allocate(const std::vector<Rate>& capacities,
+                                  std::vector<Flow*>& flows) {
+  size_t num_links = capacities.size();
+  residual_.assign(num_links, 0.0);
+  for (size_t l = 0; l < num_links; ++l) {
+    residual_[l] = std::max(0.0, capacities[l]);
+  }
+
+  // --- Phase 1: pinned flows. ---
+  // Start each at its pinned rate, then repeatedly scale down the flows
+  // crossing the most oversubscribed link until everything fits.
+  std::vector<Flow*> pinned;
+  std::vector<Flow*> fair;
+  for (Flow* f : flows) {
+    if (f->completed()) {
+      f->current_rate = 0.0;
+      continue;
+    }
+    if (f->pinned()) {
+      f->current_rate = f->pinned_rate;
+      pinned.push_back(f);
+    } else {
+      f->current_rate = 0.0;
+      fair.push_back(f);
+    }
+  }
+
+  if (!pinned.empty()) {
+    // Fixed-point: find the worst oversubscription factor and shrink the
+    // flows on that link. Each iteration permanently satisfies one link, so
+    // this terminates in at most num_links rounds.
+    std::vector<Rate> load(num_links, 0.0);
+    for (int round = 0; round < static_cast<int>(num_links) + 1; ++round) {
+      std::fill(load.begin(), load.end(), 0.0);
+      for (Flow* f : pinned) {
+        for (LinkId l : f->links) {
+          load[static_cast<size_t>(l)] += f->current_rate;
+        }
+      }
+      double worst_factor = 1.0;
+      size_t worst_link = num_links;
+      for (size_t l = 0; l < num_links; ++l) {
+        if (load[l] > residual_[l] * (1.0 + kFluidEpsilon) && load[l] > 0.0) {
+          double factor = residual_[l] / load[l];
+          if (factor < worst_factor) {
+            worst_factor = factor;
+            worst_link = l;
+          }
+        }
+      }
+      if (worst_link == num_links) {
+        break;  // Feasible.
+      }
+      for (Flow* f : pinned) {
+        for (LinkId l : f->links) {
+          if (static_cast<size_t>(l) == worst_link) {
+            f->current_rate *= worst_factor;
+            break;
+          }
+        }
+      }
+    }
+    // Subtract the pinned load from the residual available to fair flows.
+    for (Flow* f : pinned) {
+      for (LinkId l : f->links) {
+        residual_[static_cast<size_t>(l)] =
+            std::max(0.0, residual_[static_cast<size_t>(l)] - f->current_rate);
+      }
+    }
+  }
+
+  // --- Phase 2: max-min fair filling for unpinned flows. ---
+  // All loops run over the links that actually carry a fair flow, not the
+  // whole topology — the allocator is on the simulator's per-event hot path.
+  if (fair.empty()) {
+    return;
+  }
+  active_count_.assign(num_links, 0);
+  link_saturated_.assign(num_links, 0);
+  std::vector<char> frozen(fair.size(), 0);
+  used_links_.clear();
+  for (Flow* f : fair) {
+    for (LinkId l : f->links) {
+      if (active_count_[static_cast<size_t>(l)]++ == 0) {
+        used_links_.push_back(static_cast<size_t>(l));
+      }
+    }
+  }
+
+  size_t remaining_flows = fair.size();
+  // Each round saturates at least one used link (or freezes all flows).
+  for (size_t round = 0; round < used_links_.size() + 1 && remaining_flows > 0; ++round) {
+    // Largest uniform increment every active flow can take.
+    double inc = std::numeric_limits<double>::infinity();
+    for (size_t l : used_links_) {
+      if (active_count_[l] > 0 && !link_saturated_[l]) {
+        inc = std::min(inc, residual_[l] / active_count_[l]);
+      }
+    }
+    if (!std::isfinite(inc)) {
+      break;  // No capacity constraint binds (shouldn't happen in practice).
+    }
+    for (size_t i = 0; i < fair.size(); ++i) {
+      if (!frozen[i]) {
+        fair[i]->current_rate += inc;
+      }
+    }
+    for (size_t l : used_links_) {
+      if (active_count_[l] > 0 && !link_saturated_[l]) {
+        residual_[l] -= inc * active_count_[l];
+        if (residual_[l] <= kFluidEpsilon * std::max(1.0, capacities[l])) {
+          link_saturated_[l] = 1;
+        }
+      }
+    }
+    // Freeze flows crossing newly saturated links.
+    for (size_t i = 0; i < fair.size(); ++i) {
+      if (frozen[i]) {
+        continue;
+      }
+      bool hit = false;
+      for (LinkId l : fair[i]->links) {
+        if (link_saturated_[static_cast<size_t>(l)]) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        frozen[i] = 1;
+        --remaining_flows;
+        for (LinkId l : fair[i]->links) {
+          --active_count_[static_cast<size_t>(l)];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bds

@@ -1,0 +1,40 @@
+// Computes per-flow rates given link capacities.
+//
+// Algorithm (progressive filling):
+//  1. Pinned flows request their pinned rate. If any link is oversubscribed
+//     by pinned flows alone, all pinned flows crossing it are scaled down
+//     proportionally (iterated to a fixed point) — this models rate limits
+//     that were set slightly stale against shrinking residual capacity.
+//  2. Unpinned flows share the remaining capacity max-min fairly: all active
+//     flows grow at the same rate until a link saturates; flows through
+//     saturated links freeze; repeat.
+
+#ifndef BDS_SRC_SIMULATOR_BANDWIDTH_ALLOCATOR_H_
+#define BDS_SRC_SIMULATOR_BANDWIDTH_ALLOCATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/simulator/flow.h"
+
+namespace bds {
+
+class BandwidthAllocator {
+ public:
+  // `capacities[l]` is the residual capacity of link l (already net of
+  // background traffic). Writes Flow::current_rate for every flow in
+  // `flows`. Completed flows get rate 0.
+  void Allocate(const std::vector<Rate>& capacities, std::vector<Flow*>& flows);
+
+ private:
+  // Scratch vectors reused across calls to avoid per-cycle allocation churn.
+  std::vector<Rate> residual_;
+  std::vector<int> active_count_;
+  std::vector<char> link_saturated_;
+  std::vector<size_t> used_links_;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_SIMULATOR_BANDWIDTH_ALLOCATOR_H_

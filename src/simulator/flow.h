@@ -1,0 +1,59 @@
+// A flow is the simulator's unit of data movement: a fixed byte count moving
+// along a fixed sequence of capacity-constrained links.
+//
+// Two rate regimes exist, matching the systems being modelled:
+//  * pinned  — BDS's controller assigns an explicit rate (the deployment
+//              enforces it with `wget --limit-rate` / tc); the flow never
+//              exceeds it, and is scaled down only if links are oversubscribed.
+//  * fair    — decentralized baselines let TCP find the rate; modelled as
+//              max-min fair sharing of residual link capacity.
+
+#ifndef BDS_SRC_SIMULATOR_FLOW_H_
+#define BDS_SRC_SIMULATOR_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace bds {
+
+struct Flow {
+  FlowId id = kInvalidFlow;
+  std::vector<LinkId> links;
+
+  Bytes total_bytes = 0.0;
+  Bytes remaining = 0.0;
+
+  // 0 means "fair share"; > 0 means pinned to at most this rate.
+  Rate pinned_rate = 0.0;
+  // Set by the bandwidth allocator at every reallocation.
+  Rate current_rate = 0.0;
+
+  SimTime start_time = 0.0;
+  SimTime end_time = -1.0;  // < 0 while in flight.
+
+  // Opaque cookies for the client (e.g. block id / job id); the simulator
+  // never interprets them.
+  int64_t tag = 0;
+  int64_t tag2 = 0;
+
+  bool pinned() const { return pinned_rate > 0.0; }
+  bool completed() const { return end_time >= 0.0; }
+};
+
+// Immutable record of a finished flow, kept for reporting.
+struct FlowRecord {
+  FlowId id = kInvalidFlow;
+  Bytes bytes = 0.0;
+  SimTime start_time = 0.0;
+  SimTime end_time = 0.0;
+  int64_t tag = 0;
+  int64_t tag2 = 0;
+
+  SimTime Duration() const { return end_time - start_time; }
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_SIMULATOR_FLOW_H_

@@ -1,0 +1,256 @@
+#include "src/simulator/network_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bds {
+
+NetworkSimulator::NetworkSimulator(const Topology* topo) : topo_(topo) {
+  BDS_CHECK(topo != nullptr);
+  background_.assign(static_cast<size_t>(topo->num_links()), 0.0);
+  link_bytes_.assign(static_cast<size_t>(topo->num_links()), 0.0);
+}
+
+StatusOr<FlowId> NetworkSimulator::StartFlow(std::vector<LinkId> links, Bytes bytes,
+                                             Rate pinned_rate, int64_t tag, int64_t tag2) {
+  if (links.empty()) {
+    return InvalidArgumentError("StartFlow: empty link list");
+  }
+  for (LinkId l : links) {
+    if (l < 0 || l >= topo_->num_links()) {
+      return InvalidArgumentError("StartFlow: bad link id");
+    }
+  }
+  if (bytes <= 0.0) {
+    return InvalidArgumentError("StartFlow: bytes must be positive");
+  }
+  if (pinned_rate < 0.0) {
+    return InvalidArgumentError("StartFlow: negative pinned rate");
+  }
+  auto flow = std::make_unique<Flow>();
+  flow->id = next_flow_id_++;
+  flow->links = std::move(links);
+  flow->total_bytes = bytes;
+  flow->remaining = bytes;
+  flow->pinned_rate = pinned_rate;
+  flow->start_time = now_;
+  flow->tag = tag;
+  flow->tag2 = tag2;
+  FlowId id = flow->id;
+  index_[id] = active_.size();
+  active_.push_back(std::move(flow));
+  rates_dirty_ = true;
+  return id;
+}
+
+Status NetworkSimulator::RepinFlow(FlowId id, Rate pinned_rate) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return NotFoundError("RepinFlow: no such active flow");
+  }
+  if (pinned_rate < 0.0) {
+    return InvalidArgumentError("RepinFlow: negative rate");
+  }
+  active_[it->second]->pinned_rate = pinned_rate;
+  rates_dirty_ = true;
+  return Status::Ok();
+}
+
+StatusOr<Bytes> NetworkSimulator::CancelFlow(FlowId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return NotFoundError("CancelFlow: no such active flow");
+  }
+  size_t pos = it->second;
+  Bytes delivered = active_[pos]->total_bytes - active_[pos]->remaining;
+  // Swap-erase; fix the moved flow's index.
+  index_.erase(it);
+  if (pos + 1 != active_.size()) {
+    std::swap(active_[pos], active_.back());
+    index_[active_[pos]->id] = pos;
+  }
+  active_.pop_back();
+  rates_dirty_ = true;
+  return delivered;
+}
+
+const Flow* NetworkSimulator::FindFlow(FlowId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  return active_[it->second].get();
+}
+
+Status NetworkSimulator::SetBackgroundRate(LinkId link, Rate rate) {
+  if (link < 0 || link >= topo_->num_links()) {
+    return InvalidArgumentError("SetBackgroundRate: bad link");
+  }
+  if (rate < 0.0) {
+    return InvalidArgumentError("SetBackgroundRate: negative rate");
+  }
+  background_[static_cast<size_t>(link)] = rate;
+  rates_dirty_ = true;
+  return Status::Ok();
+}
+
+Rate NetworkSimulator::BackgroundRate(LinkId link) const {
+  BDS_CHECK(link >= 0 && link < topo_->num_links());
+  return background_[static_cast<size_t>(link)];
+}
+
+void NetworkSimulator::Reallocate() {
+  capacities_scratch_.resize(static_cast<size_t>(topo_->num_links()));
+  for (LinkId l = 0; l < topo_->num_links(); ++l) {
+    capacities_scratch_[static_cast<size_t>(l)] =
+        std::max(0.0, topo_->link(l).capacity - background_[static_cast<size_t>(l)]);
+  }
+  flow_ptrs_scratch_.clear();
+  flow_ptrs_scratch_.reserve(active_.size());
+  for (const auto& f : active_) {
+    flow_ptrs_scratch_.push_back(f.get());
+  }
+  allocator_.Allocate(capacities_scratch_, flow_ptrs_scratch_);
+  rates_dirty_ = false;
+  SampleTrackedLinks();
+}
+
+SimTime NetworkSimulator::NextCompletionTime() const {
+  SimTime best = kTimeInfinity;
+  for (const auto& f : active_) {
+    if (f->current_rate > 0.0) {
+      best = std::min(best, now_ + f->remaining / f->current_rate);
+    }
+  }
+  return best;
+}
+
+void NetworkSimulator::Step(SimTime dt) {
+  BDS_CHECK(dt >= 0.0);
+  if (dt == 0.0) {
+    return;
+  }
+  // Transfer bytes.
+  for (const auto& f : active_) {
+    if (f->current_rate <= 0.0) {
+      continue;
+    }
+    Bytes moved = std::min(f->remaining, f->current_rate * dt);
+    f->remaining -= moved;
+    for (LinkId l : f->links) {
+      link_bytes_[static_cast<size_t>(l)] += moved;
+    }
+  }
+  now_ += dt;
+
+  // Collect completions (remaining ~ 0 relative to flow size).
+  std::vector<FlowRecord> done;
+  for (size_t i = 0; i < active_.size();) {
+    Flow& f = *active_[i];
+    if (f.remaining <= kFluidEpsilon * std::max(1.0, f.total_bytes)) {
+      f.remaining = 0.0;
+      f.end_time = now_;
+      done.push_back(FlowRecord{f.id, f.total_bytes, f.start_time, f.end_time, f.tag, f.tag2});
+      index_.erase(f.id);
+      if (i + 1 != active_.size()) {
+        std::swap(active_[i], active_.back());
+        index_[active_[i]->id] = i;
+      }
+      active_.pop_back();
+      rates_dirty_ = true;
+      // Do not advance i: the swapped-in flow needs a check too.
+    } else {
+      ++i;
+    }
+  }
+  for (FlowRecord& r : done) {
+    completed_.push_back(r);
+    if (on_complete_) {
+      on_complete_(r);
+    }
+  }
+}
+
+Status NetworkSimulator::AdvanceTo(SimTime t) {
+  if (t < now_ - kFluidEpsilon) {
+    return InvalidArgumentError("AdvanceTo: time went backwards");
+  }
+  // Completion callbacks may start new flows, so the loop is bounded by a
+  // generous safeguard rather than the initial flow count.
+  constexpr int64_t kMaxEvents = 100'000'000;
+  for (int64_t iter = 0; iter < kMaxEvents; ++iter) {
+    if (rates_dirty_) {
+      Reallocate();
+    }
+    SimTime next = NextCompletionTime();
+    if (next >= t) {
+      Step(t - now_);  // May still complete a flow landing exactly at t.
+      return Status::Ok();
+    }
+    Step(next - now_);  // Completes at least one flow.
+  }
+  return InternalError("AdvanceTo: event cascade did not terminate");
+}
+
+StatusOr<SimTime> NetworkSimulator::RunUntilIdle(SimTime deadline) {
+  while (!active_.empty()) {
+    if (rates_dirty_) {
+      Reallocate();
+    }
+    SimTime next = NextCompletionTime();
+    if (!std::isfinite(next)) {
+      return InternalError("RunUntilIdle: active flows but no progress (all rates zero)");
+    }
+    if (next > deadline) {
+      BDS_RETURN_IF_ERROR(AdvanceTo(deadline));
+      return now_;
+    }
+    Step(next - now_);
+  }
+  return now_;
+}
+
+Bytes NetworkSimulator::LinkBytesTransferred(LinkId link) const {
+  BDS_CHECK(link >= 0 && link < topo_->num_links());
+  return link_bytes_[static_cast<size_t>(link)];
+}
+
+Rate NetworkSimulator::LinkBulkRate(LinkId link) const {
+  BDS_CHECK(link >= 0 && link < topo_->num_links());
+  Rate sum = 0.0;
+  for (const auto& f : active_) {
+    for (LinkId l : f->links) {
+      if (l == link) {
+        sum += f->current_rate;
+        break;
+      }
+    }
+  }
+  return sum;
+}
+
+double NetworkSimulator::LinkUtilization(LinkId link) const {
+  const Link& l = topo_->link(link);
+  if (l.capacity <= 0.0) {
+    return 0.0;
+  }
+  return (LinkBulkRate(link) + background_[static_cast<size_t>(link)]) / l.capacity;
+}
+
+void NetworkSimulator::TrackLinkUtilization(LinkId link) {
+  BDS_CHECK(link >= 0 && link < topo_->num_links());
+  tracked_.emplace(link, TimeSeries("link" + std::to_string(link)));
+}
+
+const TimeSeries* NetworkSimulator::LinkUtilizationSeries(LinkId link) const {
+  auto it = tracked_.find(link);
+  return it == tracked_.end() ? nullptr : &it->second;
+}
+
+void NetworkSimulator::SampleTrackedLinks() {
+  for (auto& [link, series] : tracked_) {
+    series.Add(now_, LinkUtilization(link));
+  }
+}
+
+}  // namespace bds

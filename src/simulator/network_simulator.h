@@ -1,0 +1,120 @@
+// Fluid flow-level discrete-event network simulator.
+//
+// Time advances from one flow-completion event to the next; between events
+// every flow transfers bytes at the rate the BandwidthAllocator assigned.
+// Clients start flows (pinned or fair-share), advance virtual time, and get
+// completion callbacks. Background (latency-sensitive) traffic is modelled
+// as a per-link rate that shrinks the capacity available to bulk flows —
+// exactly how BDS's NetworkMonitor sees it (§5.2).
+
+#ifndef BDS_SRC_SIMULATOR_NETWORK_SIMULATOR_H_
+#define BDS_SRC_SIMULATOR_NETWORK_SIMULATOR_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/simulator/bandwidth_allocator.h"
+#include "src/simulator/flow.h"
+#include "src/topology/topology.h"
+
+namespace bds {
+
+class NetworkSimulator {
+ public:
+  explicit NetworkSimulator(const Topology* topo);
+
+  // --- Flow management. ---
+
+  // Starts a flow over `links` carrying `bytes`. pinned_rate == 0 means
+  // fair-share. Returns the flow id.
+  StatusOr<FlowId> StartFlow(std::vector<LinkId> links, Bytes bytes, Rate pinned_rate = 0.0,
+                             int64_t tag = 0, int64_t tag2 = 0);
+
+  // Changes the pinned rate of an in-flight flow (0 switches to fair-share).
+  Status RepinFlow(FlowId id, Rate pinned_rate);
+
+  // Cancels an in-flight flow; transferred bytes stay transferred but no
+  // completion fires. Returns bytes that had been delivered.
+  StatusOr<Bytes> CancelFlow(FlowId id);
+
+  // nullptr when the flow completed or never existed.
+  const Flow* FindFlow(FlowId id) const;
+
+  int num_active_flows() const { return static_cast<int>(active_.size()); }
+
+  // --- Background (latency-sensitive) traffic. ---
+
+  // Sets the instantaneous rate consumed by latency-sensitive traffic on a
+  // link; the allocator only hands out capacity - background to bulk flows.
+  Status SetBackgroundRate(LinkId link, Rate rate);
+  Rate BackgroundRate(LinkId link) const;
+
+  // --- Time. ---
+
+  SimTime now() const { return now_; }
+
+  // Advances virtual time to `t`, firing completion callbacks in order.
+  Status AdvanceTo(SimTime t);
+  Status AdvanceBy(SimTime dt) { return AdvanceTo(now_ + dt); }
+
+  // Advances until no active flows remain or `deadline` is hit; returns the
+  // final time.
+  StatusOr<SimTime> RunUntilIdle(SimTime deadline = kTimeInfinity);
+
+  // --- Observation. ---
+
+  using CompletionCallback = std::function<void(const FlowRecord&)>;
+  void SetCompletionCallback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  const std::vector<FlowRecord>& completed_flows() const { return completed_; }
+
+  // Total bulk bytes that have crossed `link` so far.
+  Bytes LinkBytesTransferred(LinkId link) const;
+
+  // Instantaneous bulk utilization (allocated rate / capacity) of `link`.
+  double LinkUtilization(LinkId link) const;
+
+  // Current total bulk rate crossing `link`.
+  Rate LinkBulkRate(LinkId link) const;
+
+  // Enables a per-link utilization time series (sampled at every event).
+  void TrackLinkUtilization(LinkId link);
+  const TimeSeries* LinkUtilizationSeries(LinkId link) const;
+
+  const Topology& topology() const { return *topo_; }
+
+ private:
+  void Reallocate();
+  // Earliest completion among active flows; kTimeInfinity when none.
+  SimTime NextCompletionTime() const;
+  // Transfers dt's worth of bytes on every active flow; completes those done.
+  void Step(SimTime dt);
+  void SampleTrackedLinks();
+
+  const Topology* topo_;
+  BandwidthAllocator allocator_;
+
+  SimTime now_ = 0.0;
+  FlowId next_flow_id_ = 0;
+
+  std::vector<std::unique_ptr<Flow>> active_;
+  std::unordered_map<FlowId, size_t> index_;  // id -> position in active_.
+  std::vector<Rate> background_;              // Per link.
+  std::vector<Bytes> link_bytes_;             // Per link, cumulative.
+  std::vector<Rate> capacities_scratch_;
+  std::vector<Flow*> flow_ptrs_scratch_;
+  bool rates_dirty_ = true;
+
+  CompletionCallback on_complete_;
+  std::vector<FlowRecord> completed_;
+  std::unordered_map<LinkId, TimeSeries> tracked_;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_SIMULATOR_NETWORK_SIMULATOR_H_

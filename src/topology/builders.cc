@@ -1,0 +1,176 @@
+#include "src/topology/builders.h"
+
+#include <string>
+
+namespace bds {
+
+namespace {
+
+Status AddServers(Topology& topo, DcId dc, int count, Rate up, Rate down) {
+  for (int i = 0; i < count; ++i) {
+    auto s = topo.AddServer(dc, up, down);
+    if (!s.ok()) {
+      return s.status();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Topology> BuildGeoTopology(const GeoTopologyOptions& options) {
+  if (options.num_dcs < 2) {
+    return InvalidArgumentError("BuildGeoTopology: need at least 2 DCs");
+  }
+  if (options.servers_per_dc < 1) {
+    return InvalidArgumentError("BuildGeoTopology: need at least 1 server per DC");
+  }
+  if (options.wan_density < 0.0 || options.wan_density > 1.0) {
+    return InvalidArgumentError("BuildGeoTopology: wan_density must be in [0,1]");
+  }
+  if (options.wan_capacity_jitter < 0.0 || options.wan_capacity_jitter >= 1.0) {
+    return InvalidArgumentError("BuildGeoTopology: jitter must be in [0,1)");
+  }
+
+  Rng rng(options.seed);
+  Topology topo;
+  for (int d = 0; d < options.num_dcs; ++d) {
+    DcId dc = topo.AddDatacenter("dc" + std::to_string(d));
+    BDS_RETURN_IF_ERROR(
+        AddServers(topo, dc, options.servers_per_dc, options.server_up, options.server_down));
+  }
+
+  auto draw_capacity = [&]() {
+    double j = options.wan_capacity_jitter;
+    return options.wan_capacity * rng.Uniform(1.0 - j, 1.0 + j);
+  };
+
+  // Bidirectional ring guarantees every DC pair is reachable.
+  for (int d = 0; d < options.num_dcs; ++d) {
+    DcId next = static_cast<DcId>((d + 1) % options.num_dcs);
+    auto fwd = topo.AddWanLink(static_cast<DcId>(d), next, draw_capacity());
+    if (!fwd.ok()) {
+      return fwd.status();
+    }
+    auto back = topo.AddWanLink(next, static_cast<DcId>(d), draw_capacity());
+    if (!back.ok()) {
+      return back.status();
+    }
+  }
+
+  // Random extra links up to the requested density.
+  for (DcId a = 0; a < options.num_dcs; ++a) {
+    for (DcId b = 0; b < options.num_dcs; ++b) {
+      if (a == b) {
+        continue;
+      }
+      bool is_ring = (b == (a + 1) % options.num_dcs) ||
+                     (a == (b + 1) % options.num_dcs);
+      if (is_ring) {
+        continue;  // Already connected.
+      }
+      if (rng.Bernoulli(options.wan_density)) {
+        auto l = topo.AddWanLink(a, b, draw_capacity());
+        if (!l.ok()) {
+          return l.status();
+        }
+      }
+    }
+  }
+
+  for (DcId a = 0; a < options.num_dcs; ++a) {
+    for (DcId b = static_cast<DcId>(a + 1); b < options.num_dcs; ++b) {
+      topo.SetDcLatency(a, b, rng.Uniform(options.min_latency, options.max_latency));
+    }
+  }
+  return topo;
+}
+
+StatusOr<Topology> BuildFullMesh(int num_dcs, int servers_per_dc, Rate wan_capacity,
+                                 Rate server_up, Rate server_down) {
+  if (num_dcs < 2 || servers_per_dc < 1) {
+    return InvalidArgumentError("BuildFullMesh: bad dimensions");
+  }
+  Topology topo;
+  for (int d = 0; d < num_dcs; ++d) {
+    DcId dc = topo.AddDatacenter("dc" + std::to_string(d));
+    BDS_RETURN_IF_ERROR(AddServers(topo, dc, servers_per_dc, server_up, server_down));
+  }
+  for (DcId a = 0; a < num_dcs; ++a) {
+    for (DcId b = 0; b < num_dcs; ++b) {
+      if (a == b) {
+        continue;
+      }
+      auto l = topo.AddWanLink(a, b, wan_capacity);
+      if (!l.ok()) {
+        return l.status();
+      }
+    }
+  }
+  return topo;
+}
+
+Figure3Topology BuildFigure3Example() {
+  Figure3Topology fig;
+  Topology& topo = fig.topo;
+  fig.dc_a = topo.AddDatacenter("A");
+  fig.dc_b = topo.AddDatacenter("B");
+  fig.dc_c = topo.AddDatacenter("C");
+
+  // Non-bottleneck NICs are set to 100 GB/s.
+  const Rate kBig = GBps(100.0);
+  fig.server_a = topo.AddServer(fig.dc_a, kBig, kBig).value();
+  // Relay b: 6 GB/s inbound from A, 3 GB/s outbound toward C (§2.2).
+  fig.server_b = topo.AddServer(fig.dc_b, GBps(3.0), GBps(6.0)).value();
+  fig.server_b_dst = topo.AddServer(fig.dc_b, kBig, kBig).value();
+  fig.server_c = topo.AddServer(fig.dc_c, kBig, kBig).value();
+
+  // The IP route A->C is a direct 2 GB/s WAN link; the relay route uses
+  // A->B (6 GB/s) then B->C (3 GB/s).
+  BDS_CHECK(topo.AddWanLink(fig.dc_a, fig.dc_c, GBps(2.0)).ok());
+  BDS_CHECK(topo.AddWanLink(fig.dc_a, fig.dc_b, GBps(6.0)).ok());
+  BDS_CHECK(topo.AddWanLink(fig.dc_b, fig.dc_c, GBps(3.0)).ok());
+
+  topo.SetDcLatency(fig.dc_a, fig.dc_b, 0.02);
+  topo.SetDcLatency(fig.dc_b, fig.dc_c, 0.02);
+  topo.SetDcLatency(fig.dc_a, fig.dc_c, 0.03);
+  return fig;
+}
+
+StatusOr<Topology> BuildGingkoExperiment(int num_dest_dcs, int servers_per_dc, Rate server_rate,
+                                         Rate wan_capacity) {
+  if (num_dest_dcs < 1 || servers_per_dc < 1) {
+    return InvalidArgumentError("BuildGingkoExperiment: bad dimensions");
+  }
+  Topology topo;
+  DcId src = topo.AddDatacenter("src");
+  BDS_RETURN_IF_ERROR(AddServers(topo, src, servers_per_dc, server_rate, server_rate));
+  for (int d = 0; d < num_dest_dcs; ++d) {
+    DcId dc = topo.AddDatacenter("dst" + std::to_string(d));
+    BDS_RETURN_IF_ERROR(AddServers(topo, dc, servers_per_dc, server_rate, server_rate));
+  }
+  // Full mesh so destination DCs can exchange blocks with each other too.
+  for (DcId a = 0; a < topo.num_dcs(); ++a) {
+    for (DcId b = 0; b < topo.num_dcs(); ++b) {
+      if (a == b) {
+        continue;
+      }
+      auto l = topo.AddWanLink(a, b, wan_capacity);
+      if (!l.ok()) {
+        return l.status();
+      }
+    }
+  }
+  for (DcId a = 0; a < topo.num_dcs(); ++a) {
+    for (DcId b = static_cast<DcId>(a + 1); b < topo.num_dcs(); ++b) {
+      topo.SetDcLatency(a, b, 0.025);
+    }
+  }
+  return topo;
+}
+
+StatusOr<Topology> BuildTwoDcMicro(int servers_per_dc, Rate server_rate, Rate wan_capacity) {
+  return BuildFullMesh(2, servers_per_dc, wan_capacity, server_rate, server_rate);
+}
+
+}  // namespace bds

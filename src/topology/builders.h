@@ -1,0 +1,85 @@
+// Synthetic topology generators.
+//
+// Every evaluation scenario in the paper runs on one of a handful of
+// infrastructure shapes: Baidu's 10-30 geo-distributed DCs, the 3-DC
+// illustrative example of Figure 3, and small micro-benchmark setups.
+// The builders here create those shapes deterministically from a seed.
+
+#ifndef BDS_SRC_TOPOLOGY_BUILDERS_H_
+#define BDS_SRC_TOPOLOGY_BUILDERS_H_
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/topology/topology.h"
+
+namespace bds {
+
+struct GeoTopologyOptions {
+  int num_dcs = 10;
+  int servers_per_dc = 10;
+
+  Rate server_up = MBps(20.0);
+  Rate server_down = MBps(20.0);
+
+  // Mean WAN capacity between directly connected DC pairs. Individual links
+  // draw from [mean * (1 - jitter), mean * (1 + jitter)] to create the
+  // capacity diversity that makes overlay paths bottleneck-disjoint (§2.2).
+  Rate wan_capacity = Gbps(10.0);
+  double wan_capacity_jitter = 0.4;
+
+  // Fraction of ordered DC pairs that have a direct WAN link. Pairs without
+  // one route through transit DCs, creating Type I overlay path diversity.
+  // The generator guarantees connectivity via a bidirectional ring.
+  double wan_density = 0.7;
+
+  // One-way inter-DC control latency drawn uniformly from this range
+  // (seconds). Matches Fig 11b's 5-50 ms spread.
+  double min_latency = 0.005;
+  double max_latency = 0.050;
+
+  uint64_t seed = 1;
+};
+
+// A Baidu-like geo-distributed deployment: ring backbone for connectivity
+// plus random extra WAN links, heterogeneous capacities and latencies.
+StatusOr<Topology> BuildGeoTopology(const GeoTopologyOptions& options);
+
+// Full mesh of identical WAN links — the worst case for overlay gains and
+// the easiest to reason about in unit tests.
+StatusOr<Topology> BuildFullMesh(int num_dcs, int servers_per_dc, Rate wan_capacity,
+                                 Rate server_up, Rate server_down);
+
+// The Figure 3 / §2.2 illustrative example:
+//   DC A (source, 1 server a), DC B (relay server b + 1 destination server),
+//   DC C (1 destination server c).
+//   WAN A->C: 2 GB/s (the IP route),   WAN A->B: 6 GB/s,   WAN B->C: 3 GB/s.
+//   Server b: 6 GB/s down, 3 GB/s up. Other servers' NICs are non-bottleneck.
+// With 36 GB split into 6 GB blocks: direct replication 18 s, chain 13 s,
+// intelligent multicast overlay 9 s.
+struct Figure3Topology {
+  Topology topo;
+  ServerId server_a = kInvalidServer;     // Source, in DC A.
+  ServerId server_b = kInvalidServer;     // Relay, in DC B.
+  ServerId server_b_dst = kInvalidServer; // Destination in DC B.
+  ServerId server_c = kInvalidServer;     // Destination, in DC C.
+  DcId dc_a = kInvalidDc;
+  DcId dc_b = kInvalidDc;
+  DcId dc_c = kInvalidDc;
+};
+Figure3Topology BuildFigure3Example();
+
+// Figure 5's Gingko experiment: one source DC and `num_dest_dcs` destination
+// DCs, each with `servers_per_dc` servers at 20 Mbps up/down (defaults from
+// §2.3: 2 destination DCs with 640 servers each).
+StatusOr<Topology> BuildGingkoExperiment(int num_dest_dcs = 2, int servers_per_dc = 640,
+                                         Rate server_rate = Mbps(20.0),
+                                         Rate wan_capacity = Gbps(40.0));
+
+// Figure 13b's micro setup: 2 DCs, 4 servers, 20 MB/s server up/down rates.
+StatusOr<Topology> BuildTwoDcMicro(int servers_per_dc = 2, Rate server_rate = MBps(20.0),
+                                   Rate wan_capacity = MBps(200.0));
+
+}  // namespace bds
+
+#endif  // BDS_SRC_TOPOLOGY_BUILDERS_H_

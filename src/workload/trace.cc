@@ -1,0 +1,103 @@
+#include "src/workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace bds {
+
+TraceStats Trace::ComputeStats(int num_dcs) const {
+  TraceStats stats;
+  stats.num_records = size();
+  double total_bytes = 0.0;
+  double multicast_bytes = 0.0;
+  std::map<std::string, std::pair<double, double>> per_app;  // (multicast, total)
+  for (const TraceRecord& r : records_) {
+    total_bytes += r.bytes;
+    auto& app = per_app[r.app_type];
+    app.second += r.bytes;
+    if (r.multicast) {
+      ++stats.num_multicast;
+      multicast_bytes += r.bytes;
+      app.first += r.bytes;
+      if (num_dcs > 1) {
+        stats.dest_fraction.push_back(static_cast<double>(r.dest_dcs.size()) /
+                                      static_cast<double>(num_dcs - 1));
+      }
+      stats.multicast_sizes.push_back(r.bytes);
+    }
+  }
+  stats.multicast_byte_share = total_bytes > 0.0 ? multicast_bytes / total_bytes : 0.0;
+  for (const auto& [app, pair] : per_app) {
+    stats.per_app_multicast_share.emplace_back(
+        app, pair.second > 0.0 ? pair.first / pair.second : 0.0);
+  }
+  return stats;
+}
+
+Status Trace::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return UnavailableError("SaveCsv: cannot open " + path);
+  }
+  out << "id,start,app,multicast,src,dests,bytes\n";
+  for (const TraceRecord& r : records_) {
+    out << r.id << ',' << r.start_time << ',' << r.app_type << ',' << (r.multicast ? 1 : 0)
+        << ',' << r.source_dc << ',';
+    for (size_t i = 0; i < r.dest_dcs.size(); ++i) {
+      if (i > 0) {
+        out << '|';
+      }
+      out << r.dest_dcs[i];
+    }
+    out << ',' << r.bytes << '\n';
+  }
+  return out.good() ? Status::Ok() : UnavailableError("SaveCsv: write failed");
+}
+
+StatusOr<Trace> Trace::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return UnavailableError("LoadCsv: cannot open " + path);
+  }
+  Trace trace;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {  // Header.
+      first = false;
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string field;
+    TraceRecord r;
+    auto next = [&](std::string& out_field) -> bool {
+      return static_cast<bool>(std::getline(ls, out_field, ','));
+    };
+    std::string id_s, start_s, mc_s, src_s, dests_s, bytes_s;
+    if (!next(id_s) || !next(start_s) || !next(r.app_type) || !next(mc_s) || !next(src_s) ||
+        !next(dests_s) || !next(bytes_s)) {
+      return InvalidArgumentError("LoadCsv: malformed line: " + line);
+    }
+    r.id = std::stoll(id_s);
+    r.start_time = std::stod(start_s);
+    r.multicast = mc_s == "1";
+    r.source_dc = static_cast<DcId>(std::stol(src_s));
+    std::istringstream ds(dests_s);
+    std::string d;
+    while (std::getline(ds, d, '|')) {
+      if (!d.empty()) {
+        r.dest_dcs.push_back(static_cast<DcId>(std::stol(d)));
+      }
+    }
+    r.bytes = std::stod(bytes_s);
+    trace.Add(std::move(r));
+  }
+  return trace;
+}
+
+}  // namespace bds

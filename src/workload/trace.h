@@ -1,0 +1,67 @@
+// Inter-DC transfer traces.
+//
+// A trace is the list of transfers (multicast and point-to-point) observed
+// over a measurement window — the synthetic stand-in for the 7-day Baidu
+// dataset of §2 (1265 multicast transfers among 30+ DCs). Records carry
+// enough to reproduce Table 1 and Figure 2, and to drive trace-driven
+// simulation (§6.1).
+
+#ifndef BDS_SRC_WORKLOAD_TRACE_H_
+#define BDS_SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace bds {
+
+struct TraceRecord {
+  int64_t id = 0;
+  SimTime start_time = 0.0;  // Seconds from trace start.
+  std::string app_type;
+  bool multicast = false;  // false = point-to-point transfer.
+  DcId source_dc = kInvalidDc;
+  std::vector<DcId> dest_dcs;  // Size 1 for point-to-point.
+  Bytes bytes = 0.0;
+};
+
+struct TraceStats {
+  // Fraction of total bytes belonging to multicast transfers, overall and
+  // per app type (Table 1).
+  double multicast_byte_share = 0.0;
+  std::vector<std::pair<std::string, double>> per_app_multicast_share;
+
+  // Destination-fraction samples for multicast records (Fig 2a): for each
+  // record, |dest_dcs| / (num_dcs - 1).
+  std::vector<double> dest_fraction;
+
+  // Sizes of multicast transfers in bytes (Fig 2b).
+  std::vector<double> multicast_sizes;
+
+  int64_t num_records = 0;
+  int64_t num_multicast = 0;
+};
+
+class Trace {
+ public:
+  void Add(TraceRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  int64_t size() const { return static_cast<int64_t>(records_.size()); }
+
+  // Aggregates the paper's Table 1 / Figure 2 quantities.
+  TraceStats ComputeStats(int num_dcs) const;
+
+  // CSV round trip: "id,start,app,multicast,src,dst1|dst2|...,bytes".
+  Status SaveCsv(const std::string& path) const;
+  static StatusOr<Trace> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_WORKLOAD_TRACE_H_

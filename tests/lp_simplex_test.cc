@@ -1,0 +1,192 @@
+#include "src/lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lp/lp_problem.h"
+
+namespace bds {
+namespace {
+
+TEST(SimplexTest, TrivialSingleVariable) {
+  // max x s.t. x <= 5.
+  LpProblem lp;
+  int x = lp.AddVariable(1.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 5.0);
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 5.0, 1e-9);
+  EXPECT_NEAR(s.values[0], 5.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariable) {
+  // max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18. Optimum 36 at (2, 6).
+  LpProblem lp;
+  int x = lp.AddVariable(3.0);
+  int y = lp.AddVariable(5.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  lp.AddConstraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  lp.AddConstraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 36.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(y)], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, UpperBoundsRespected) {
+  // max x + y s.t. x + y <= 10, x <= 3 (as variable bound), y <= 4.
+  LpProblem lp;
+  int x = lp.AddVariable(1.0, /*upper_bound=*/3.0);
+  int y = lp.AddVariable(1.0, /*upper_bound=*/4.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 10.0);
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 7.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + 2y s.t. x + y = 4, x <= 3. Optimum: y = 4, x = 0 -> 8.
+  LpProblem lp;
+  int x = lp.AddVariable(1.0);
+  int y = lp.AddVariable(2.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 4.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 3.0);
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 8.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<size_t>(y)], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // max -x (i.e. minimize x) s.t. x >= 2. Optimum x = 2.
+  LpProblem lp;
+  int x = lp.AddVariable(-1.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective_value, -2.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 3.
+  LpProblem lp;
+  int x = lp.AddVariable(1.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 1.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kGreaterEqual, 3.0);
+  LpSolution s = SolveSimplex(lp);
+  EXPECT_EQ(s.outcome, LpOutcome::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // max x with no constraint binding x.
+  LpProblem lp;
+  int x = lp.AddVariable(1.0);
+  int y = lp.AddVariable(0.0);
+  lp.AddConstraint({{y, 1.0}}, Relation::kLessEqual, 1.0);
+  (void)x;
+  LpSolution s = SolveSimplex(lp);
+  EXPECT_EQ(s.outcome, LpOutcome::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // max -x s.t. -x <= -2  (i.e. x >= 2).
+  LpProblem lp;
+  int x = lp.AddVariable(-1.0);
+  lp.AddConstraint({{x, -1.0}}, Relation::kLessEqual, -2.0);
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, RepeatedTermsAccumulate) {
+  // max x s.t. 0.5x + 0.5x <= 3  -> x <= 3.
+  LpProblem lp;
+  int x = lp.AddVariable(1.0);
+  lp.AddConstraint({{x, 0.5}, {x, 0.5}}, Relation::kLessEqual, 3.0);
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 3.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemStillSolves) {
+  // Multiple constraints meeting at the optimum (degeneracy).
+  LpProblem lp;
+  int x = lp.AddVariable(1.0);
+  int y = lp.AddVariable(1.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 2.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 2.0);
+  lp.AddConstraint({{y, 1.0}}, Relation::kLessEqual, 2.0);
+  lp.AddConstraint({{x, 2.0}, {y, 2.0}}, Relation::kLessEqual, 4.0);
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, ZeroObjectiveIsFeasibilityCheck) {
+  LpProblem lp;
+  int x = lp.AddVariable(0.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kGreaterEqual, 1.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 2.0);
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_GE(s.values[0], 1.0 - 1e-9);
+  EXPECT_LE(s.values[0], 2.0 + 1e-9);
+}
+
+TEST(SimplexTest, IterationLimitReported) {
+  LpProblem lp;
+  // A modest problem with an absurdly low iteration cap.
+  int x = lp.AddVariable(3.0);
+  int y = lp.AddVariable(5.0);
+  lp.AddConstraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  lp.AddConstraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  lp.AddConstraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  SimplexOptions opt;
+  opt.max_iterations = 1;
+  LpSolution s = SolveSimplex(lp, opt);
+  EXPECT_EQ(s.outcome, LpOutcome::kIterationLimit);
+}
+
+// Property sweep: transportation-style LPs where the optimum is known to be
+// min(total supply, total demand).
+class TransportLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportLpTest, MaxShipmentEqualsMinOfSupplyDemand) {
+  int k = GetParam();
+  int suppliers = 2 + k % 3;
+  int consumers = 2 + (k / 3) % 3;
+  double supply = 10.0 + k;
+  double demand = 8.0 + 2.0 * k;
+
+  LpProblem lp;
+  std::vector<std::vector<int>> x(static_cast<size_t>(suppliers),
+                                  std::vector<int>(static_cast<size_t>(consumers)));
+  for (int i = 0; i < suppliers; ++i) {
+    for (int j = 0; j < consumers; ++j) {
+      x[static_cast<size_t>(i)][static_cast<size_t>(j)] = lp.AddVariable(1.0);
+    }
+  }
+  for (int i = 0; i < suppliers; ++i) {
+    std::vector<LpTerm> terms;
+    for (int j = 0; j < consumers; ++j) {
+      terms.push_back({x[static_cast<size_t>(i)][static_cast<size_t>(j)], 1.0});
+    }
+    lp.AddConstraint(terms, Relation::kLessEqual, supply / suppliers);
+  }
+  for (int j = 0; j < consumers; ++j) {
+    std::vector<LpTerm> terms;
+    for (int i = 0; i < suppliers; ++i) {
+      terms.push_back({x[static_cast<size_t>(i)][static_cast<size_t>(j)], 1.0});
+    }
+    lp.AddConstraint(terms, Relation::kLessEqual, demand / consumers);
+  }
+  LpSolution s = SolveSimplex(lp);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, std::min(supply, demand), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransportLpTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace bds

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "src/core/service.h"
+#include "src/topology/builders.h"
+
+namespace bds {
+namespace {
+
+std::unique_ptr<BdsService> MakeService(BdsOptions options = [] {
+  BdsOptions o;
+  o.cycle_length = 1.0;
+  return o;
+}()) {
+  Topology topo = BuildFullMesh(3, 3, Gbps(1.0), MBps(20.0), MBps(20.0)).value();
+  return BdsService::Create(std::move(topo), options).value();
+}
+
+TEST(RecoveryTest, ReplicaStateRestoreAllowsRedelivery) {
+  Topology topo = BuildFullMesh(3, 2, Gbps(1.0), MBps(20.0), MBps(20.0)).value();
+  ReplicaState state(&topo);
+  MulticastJob job = MakeJob(0, 0, {1}, MB(8.0), MB(2.0)).value();
+  ASSERT_TRUE(state.AddJob(job).ok());
+  ServerId dest = state.AssignedServer(0, 0, 1);
+  state.RemoveServer(dest);
+  EXPECT_TRUE(state.ServerFailed(dest));
+  EXPECT_FALSE(state.AddReplica(0, 0, dest).ok());  // Dead servers reject data.
+  state.RestoreServer(dest);
+  EXPECT_FALSE(state.ServerFailed(dest));
+  EXPECT_TRUE(state.AddReplica(0, 0, dest).ok());
+}
+
+TEST(RecoveryTest, FailedDestinationRecoversAndJobCompletes) {
+  auto service = MakeService();
+  ASSERT_TRUE(service->CreateJob(0, {1, 2}, MB(120.0)).ok());
+  ServerId victim = service->topology().ServersIn(1)[0];
+  service->InjectServerFailure(victim, 1.0);
+  service->InjectServerRecovery(victim, 6.0);
+  auto report = service->Run(Hours(1.0));
+  ASSERT_TRUE(report.ok());
+  // With the server back, its shard can be redelivered and the job finishes.
+  EXPECT_TRUE(report->completed);
+  EXPECT_GT(report->completion_time, 6.0);
+}
+
+TEST(RecoveryTest, WithoutRecoveryJobStaysIncomplete) {
+  auto service = MakeService();
+  ASSERT_TRUE(service->CreateJob(0, {1, 2}, MB(120.0)).ok());
+  ServerId victim = service->topology().ServersIn(1)[0];
+  service->InjectServerFailure(victim, 1.0);
+  auto report = service->Run(/*deadline=*/300.0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->completed);
+  // But every other destination server finished.
+  int64_t owed_elsewhere = 0;
+  for (DcId d : {1, 2}) {
+    for (ServerId s : service->topology().ServersIn(d)) {
+      if (s != victim) {
+        owed_elsewhere += service->mutable_controller()->state().OwedByServer(s);
+      }
+    }
+  }
+  EXPECT_EQ(owed_elsewhere, 0);
+}
+
+TEST(RecoveryTest, SourceFailureAndRecoveryRestoresLostBlocks) {
+  auto service = MakeService();
+  MulticastJob job = MakeJob(0, 0, {1}, MB(120.0), MB(2.0)).value();
+  ASSERT_TRUE(service->SubmitJob(job).ok());
+  // Fail one origin server almost immediately: the blocks only it held are
+  // unrecoverable until it returns at t=10.
+  ServerId origin = service->topology().ServersIn(0)[0];
+  service->InjectServerFailure(origin, 0.5);
+  service->InjectServerRecovery(origin, 10.0);
+  auto report = service->Run(Hours(1.0));
+  ASSERT_TRUE(report.ok());
+  // NOTE: a restored origin comes back empty in our model, so blocks whose
+  // only copy lived there are lost for good; the run must still terminate
+  // without wedging.
+  EXPECT_LE(report->completion_time, Hours(1.0));
+}
+
+TEST(RecoveryTest, RecoveryDuringFallbackIsPickedUp) {
+  auto service = MakeService();
+  ASSERT_TRUE(service->CreateJob(0, {1, 2}, MB(200.0)).ok());
+  ServerId victim = service->topology().ServersIn(2)[1];
+  service->InjectServerFailure(victim, 1.0);
+  service->InjectControllerOutage(2.0, 12.0);
+  service->InjectServerRecovery(victim, 5.0);  // Returns mid-outage.
+  auto report = service->Run(Hours(1.0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->completed);
+}
+
+}  // namespace
+}  // namespace bds

@@ -1,0 +1,224 @@
+#include "src/scheduler/replica_state.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topology/builders.h"
+
+namespace bds {
+namespace {
+
+// 3 DCs x 2 servers; DC0 = source.
+struct Fixture {
+  Topology topo;
+  MulticastJob job;
+
+  Fixture(int64_t blocks = 4, int servers_per_dc = 2) {
+    topo = BuildFullMesh(3, servers_per_dc, GBps(1.0), MBps(10.0), MBps(10.0)).value();
+    job = MakeJob(/*id=*/7, /*source_dc=*/0, /*dest_dcs=*/{1, 2},
+                  /*total_bytes=*/MB(2.0) * static_cast<double>(blocks),
+                  /*block_size=*/MB(2.0))
+              .value();
+  }
+};
+
+TEST(ReplicaStateTest, AddJobSeedsSourceShards) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  // Each block starts on exactly the placement rule's source server.
+  for (int64_t b = 0; b < f.job.num_blocks(); ++b) {
+    ServerId holder =
+        f.topo.ServersIn(0)[ShardIndex(7, b, 0, f.topo.ServersIn(0).size())];
+    EXPECT_TRUE(state.ServerHasBlock(7, b, holder));
+    EXPECT_EQ(state.DuplicateCount(7, b), 1);
+    for (ServerId s : f.topo.ServersIn(0)) {
+      if (s != holder) {
+        EXPECT_FALSE(state.ServerHasBlock(7, b, s));
+      }
+    }
+  }
+  EXPECT_TRUE(state.DcHasBlock(7, 0, 0));
+  EXPECT_FALSE(state.DcHasBlock(7, 0, 1));
+  // 4 blocks x 2 destination DCs owed.
+  EXPECT_EQ(state.num_pending(), 8);
+  EXPECT_FALSE(state.JobComplete(7));
+}
+
+TEST(ReplicaStateTest, AddJobRejectsBadInput) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  EXPECT_FALSE(state.AddJob(f.job).ok());  // Duplicate id.
+
+  MulticastJob bad = f.job;
+  bad.id = 8;
+  bad.dest_dcs = {0};  // Destination == source.
+  EXPECT_FALSE(state.AddJob(bad).ok());
+
+  bad.dest_dcs = {1, 1};  // Duplicate destination.
+  EXPECT_FALSE(state.AddJob(bad).ok());
+
+  bad.dest_dcs = {99};
+  EXPECT_FALSE(state.AddJob(bad).ok());
+}
+
+TEST(ReplicaStateTest, DeliveryClearsOwedOnlyAtAssignedServer) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  ServerId assigned = state.AssignedServer(7, 0, 1);
+  ServerId other = f.topo.ServersIn(1)[1] == assigned ? f.topo.ServersIn(1)[0]
+                                                      : f.topo.ServersIn(1)[1];
+  // Landing at the wrong server marks presence but the shard is still owed.
+  ASSERT_TRUE(state.AddReplica(7, 0, other).ok());
+  EXPECT_TRUE(state.DcHasBlock(7, 0, 1));
+  EXPECT_EQ(state.num_pending(), 8);
+  // Landing at the assigned server clears it.
+  ASSERT_TRUE(state.AddReplica(7, 0, assigned).ok());
+  EXPECT_EQ(state.num_pending(), 7);
+}
+
+TEST(ReplicaStateTest, AddReplicaIsIdempotent) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  ServerId assigned = state.AssignedServer(7, 0, 1);
+  ASSERT_TRUE(state.AddReplica(7, 0, assigned).ok());
+  ASSERT_TRUE(state.AddReplica(7, 0, assigned).ok());
+  EXPECT_EQ(state.num_pending(), 7);
+  EXPECT_EQ(state.DuplicateCount(7, 0), 2);  // Source + destination.
+}
+
+TEST(ReplicaStateTest, CompleteJobWhenAllShardsLand) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  for (int64_t b = 0; b < f.job.num_blocks(); ++b) {
+    for (DcId d : f.job.dest_dcs) {
+      ASSERT_TRUE(state.AddReplica(7, b, state.AssignedServer(7, b, d)).ok());
+    }
+  }
+  EXPECT_TRUE(state.JobComplete(7));
+  EXPECT_TRUE(state.AllComplete());
+  EXPECT_TRUE(state.PendingDeliveries().empty());
+}
+
+TEST(ReplicaStateTest, PendingDeliveriesCarryDuplicateCounts) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  ASSERT_TRUE(state.AddReplica(7, 0, state.AssignedServer(7, 0, 1)).ok());
+  auto pending = state.PendingDeliveries();
+  ASSERT_EQ(pending.size(), 7u);
+  for (const PendingDelivery& p : pending) {
+    if (p.block == 0) {
+      EXPECT_EQ(p.duplicates, 2);  // Origin + DC1 replica.
+      EXPECT_EQ(p.dc, 2);
+    } else {
+      EXPECT_EQ(p.duplicates, 1);
+    }
+    EXPECT_EQ(p.dest_server, state.AssignedServer(p.job, p.block, p.dc));
+  }
+}
+
+TEST(ReplicaStateTest, OwedByServerTracksShards) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  // Per destination DC, the servers' owed counts sum to the block count and
+  // match the placement rule exactly.
+  for (DcId d : f.job.dest_dcs) {
+    int64_t total = 0;
+    for (ServerId s : f.topo.ServersIn(d)) {
+      total += state.OwedByServer(s);
+    }
+    EXPECT_EQ(total, f.job.num_blocks());
+  }
+  ServerId assigned = state.AssignedServer(7, 0, 1);
+  int64_t before = state.OwedByServer(assigned);
+  ASSERT_TRUE(state.AddReplica(7, 0, assigned).ok());
+  EXPECT_EQ(state.OwedByServer(assigned), before - 1);
+}
+
+TEST(ReplicaStateTest, RemoveServerRevertsItsDeliveries) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  ServerId assigned = state.AssignedServer(7, 0, 1);
+  ASSERT_TRUE(state.AddReplica(7, 0, assigned).ok());
+  EXPECT_EQ(state.num_pending(), 7);
+  state.RemoveServer(assigned);
+  // The delivered shard is owed again, and the server no longer holds it.
+  EXPECT_EQ(state.num_pending(), 8);
+  EXPECT_FALSE(state.ServerHasBlock(7, 0, assigned));
+  EXPECT_FALSE(state.DcHasBlock(7, 0, 1));
+}
+
+TEST(ReplicaStateTest, RemoveSourceServerDropsHolder) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  ServerId src0 = f.topo.ServersIn(0)[0];
+  state.RemoveServer(src0);
+  EXPECT_EQ(state.DuplicateCount(7, 0), 0);  // Block 0 lost its only holder.
+  EXPECT_EQ(state.DuplicateCount(7, 1), 1);  // Block 1 lives on the other server.
+}
+
+TEST(ReplicaStateTest, NoteDeliveryRecordsOriginStats) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  ServerId origin = f.topo.ServersIn(0)[0];
+  ServerId d1 = state.AssignedServer(7, 0, 1);
+  ServerId d2 = state.AssignedServer(7, 0, 2);
+  ASSERT_TRUE(state.NoteDelivery(7, 0, origin, d1).ok());
+  ASSERT_TRUE(state.NoteDelivery(7, 0, d1, d2).ok());  // Overlay relay.
+  const auto& stats = state.origin_stats();
+  EXPECT_EQ(stats.at(d1).from_origin, 1);
+  EXPECT_EQ(stats.at(d1).total, 1);
+  EXPECT_EQ(stats.at(d2).from_origin, 0);
+  EXPECT_EQ(stats.at(d2).total, 1);
+}
+
+TEST(ReplicaStateTest, AllDestinationServersCoversDestDcs) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  auto servers = state.AllDestinationServers();
+  EXPECT_EQ(servers.size(), 4u);  // 2 DCs x 2 servers.
+}
+
+TEST(ReplicaStateTest, RejectsTopologyBeyond64Dcs) {
+  Topology topo;
+  for (int i = 0; i < 65; ++i) {
+    DcId d = topo.AddDatacenter("dc" + std::to_string(i));
+    ASSERT_TRUE(topo.AddServer(d, 1.0, 1.0).ok());
+  }
+  ReplicaState state(&topo);
+  auto job = MakeJob(1, 0, {1}, MB(2.0)).value();
+  EXPECT_FALSE(state.AddJob(job).ok());
+}
+
+TEST(ReplicaStateTest, QueriesOnUnknownJobAreSafe) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  EXPECT_FALSE(state.ServerHasBlock(99, 0, 0));
+  EXPECT_EQ(state.DuplicateCount(99, 0), 0);
+  EXPECT_TRUE(state.Holders(99, 0).empty());
+  EXPECT_EQ(state.FindJob(99), nullptr);
+  EXPECT_FALSE(state.AddReplica(99, 0, 0).ok());
+  EXPECT_FALSE(state.JobComplete(99));
+}
+
+TEST(ReplicaStateTest, LastPartialBlockSized) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  MulticastJob job = MakeJob(9, 0, {1}, MB(5.0), MB(2.0)).value();
+  ASSERT_TRUE(state.AddJob(job).ok());
+  EXPECT_EQ(job.num_blocks(), 3);
+  EXPECT_DOUBLE_EQ(job.BlockSizeOf(0), MB(2.0));
+  EXPECT_DOUBLE_EQ(job.BlockSizeOf(2), MB(1.0));
+}
+
+}  // namespace
+}  // namespace bds

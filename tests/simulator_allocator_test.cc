@@ -1,0 +1,209 @@
+#include "src/simulator/bandwidth_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/simulator/flow.h"
+
+namespace bds {
+namespace {
+
+Flow MakeFlow(FlowId id, std::vector<LinkId> links, Rate pinned = 0.0) {
+  Flow f;
+  f.id = id;
+  f.links = std::move(links);
+  f.total_bytes = 100.0;
+  f.remaining = 100.0;
+  f.pinned_rate = pinned;
+  return f;
+}
+
+std::vector<Flow*> Ptrs(std::vector<Flow>& flows) {
+  std::vector<Flow*> out;
+  for (Flow& f : flows) {
+    out.push_back(&f);
+  }
+  return out;
+}
+
+TEST(BandwidthAllocatorTest, SingleFlowGetsBottleneck) {
+  std::vector<Rate> caps{10.0, 4.0, 8.0};
+  std::vector<Flow> flows{MakeFlow(0, {0, 1, 2})};
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+  EXPECT_NEAR(flows[0].current_rate, 4.0, 1e-9);
+}
+
+TEST(BandwidthAllocatorTest, TwoFlowsShareEvenly) {
+  std::vector<Rate> caps{10.0};
+  std::vector<Flow> flows{MakeFlow(0, {0}), MakeFlow(1, {0})};
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+  EXPECT_NEAR(flows[0].current_rate, 5.0, 1e-9);
+  EXPECT_NEAR(flows[1].current_rate, 5.0, 1e-9);
+}
+
+TEST(BandwidthAllocatorTest, MaxMinClassicExample) {
+  // Flow 0 crosses links 0 and 1; flow 1 only link 0; flow 2 only link 1.
+  // Link 0 cap 10, link 1 cap 4. Max-min: flow 0 and 2 limited by link 1
+  // (2 each); flow 1 then takes the rest of link 0 (8).
+  std::vector<Rate> caps{10.0, 4.0};
+  std::vector<Flow> flows{MakeFlow(0, {0, 1}), MakeFlow(1, {0}), MakeFlow(2, {1})};
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+  EXPECT_NEAR(flows[0].current_rate, 2.0, 1e-9);
+  EXPECT_NEAR(flows[1].current_rate, 8.0, 1e-9);
+  EXPECT_NEAR(flows[2].current_rate, 2.0, 1e-9);
+}
+
+TEST(BandwidthAllocatorTest, PinnedFlowKeepsRateWhenFeasible) {
+  std::vector<Rate> caps{10.0};
+  std::vector<Flow> flows{MakeFlow(0, {0}, 3.0), MakeFlow(1, {0})};
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+  EXPECT_NEAR(flows[0].current_rate, 3.0, 1e-9);
+  EXPECT_NEAR(flows[1].current_rate, 7.0, 1e-9);  // Fair flow takes the rest.
+}
+
+TEST(BandwidthAllocatorTest, OversubscribedPinnedFlowsScaledProportionally) {
+  std::vector<Rate> caps{6.0};
+  std::vector<Flow> flows{MakeFlow(0, {0}, 6.0), MakeFlow(1, {0}, 6.0)};
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+  EXPECT_NEAR(flows[0].current_rate, 3.0, 1e-9);
+  EXPECT_NEAR(flows[1].current_rate, 3.0, 1e-9);
+}
+
+TEST(BandwidthAllocatorTest, PinnedScalingCascades) {
+  // Flow 0 pinned at 8 through links {0,1}; link 0 cap 4 halves it; flow 1
+  // pinned at 4 on link 1 still fits after flow 0 shrinks (cap 8).
+  std::vector<Rate> caps{4.0, 8.0};
+  std::vector<Flow> flows{MakeFlow(0, {0, 1}, 8.0), MakeFlow(1, {1}, 4.0)};
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+  EXPECT_NEAR(flows[0].current_rate, 4.0, 1e-9);
+  EXPECT_NEAR(flows[1].current_rate, 4.0, 1e-9);
+}
+
+TEST(BandwidthAllocatorTest, CompletedFlowsGetZero) {
+  std::vector<Rate> caps{10.0};
+  std::vector<Flow> flows{MakeFlow(0, {0}), MakeFlow(1, {0})};
+  flows[0].end_time = 1.0;  // Completed.
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+  EXPECT_DOUBLE_EQ(flows[0].current_rate, 0.0);
+  EXPECT_NEAR(flows[1].current_rate, 10.0, 1e-9);
+}
+
+TEST(BandwidthAllocatorTest, ZeroCapacityLinkStallsFlows) {
+  std::vector<Rate> caps{0.0, 10.0};
+  std::vector<Flow> flows{MakeFlow(0, {0, 1}), MakeFlow(1, {1})};
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+  EXPECT_NEAR(flows[0].current_rate, 0.0, 1e-9);
+  EXPECT_NEAR(flows[1].current_rate, 10.0, 1e-9);
+}
+
+TEST(BandwidthAllocatorTest, NoFlowsIsANoOp) {
+  std::vector<Rate> caps{10.0};
+  std::vector<Flow*> empty;
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, empty);  // Must not crash.
+}
+
+TEST(BandwidthAllocatorTest, MixedPinnedAndFairRespectCapacity) {
+  std::vector<Rate> caps{10.0};
+  std::vector<Flow> flows{MakeFlow(0, {0}, 4.0), MakeFlow(1, {0}), MakeFlow(2, {0})};
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+  EXPECT_NEAR(flows[0].current_rate, 4.0, 1e-9);
+  EXPECT_NEAR(flows[1].current_rate, 3.0, 1e-9);
+  EXPECT_NEAR(flows[2].current_rate, 3.0, 1e-9);
+}
+
+// Property: allocations never violate link capacity, for many random cases.
+class AllocatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorPropertyTest, CapacityNeverViolatedAndWorkConserving) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  // Simple xorshift for test-local determinism.
+  auto next = [&]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  int num_links = 1 + static_cast<int>(next() % 8);
+  int num_flows = 1 + static_cast<int>(next() % 20);
+  std::vector<Rate> caps;
+  for (int l = 0; l < num_links; ++l) {
+    caps.push_back(1.0 + static_cast<double>(next() % 100));
+  }
+  std::vector<Flow> flows;
+  for (int f = 0; f < num_flows; ++f) {
+    std::vector<LinkId> links;
+    int n = 1 + static_cast<int>(next() % 3);
+    for (int i = 0; i < n; ++i) {
+      LinkId cand = static_cast<LinkId>(next() % num_links);
+      bool dup = false;
+      for (LinkId l : links) {
+        if (l == cand) {
+          dup = true;
+        }
+      }
+      if (!dup) {
+        links.push_back(cand);
+      }
+    }
+    double pinned = (next() % 3 == 0) ? 1.0 + static_cast<double>(next() % 50) : 0.0;
+    flows.push_back(MakeFlow(f, links, pinned));
+  }
+  auto ptrs = Ptrs(flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(caps, ptrs);
+
+  // Capacity constraint per link.
+  std::vector<double> load(caps.size(), 0.0);
+  for (const Flow& f : flows) {
+    EXPECT_GE(f.current_rate, 0.0);
+    for (LinkId l : f.links) {
+      load[static_cast<size_t>(l)] += f.current_rate;
+    }
+  }
+  for (size_t l = 0; l < caps.size(); ++l) {
+    EXPECT_LE(load[l], caps[l] * (1.0 + 1e-6)) << "link " << l;
+  }
+
+  // Work conservation for fair flows: every unpinned flow must cross at
+  // least one (nearly) saturated link.
+  for (const Flow& f : flows) {
+    if (f.pinned()) {
+      continue;
+    }
+    bool bottlenecked = false;
+    for (LinkId l : f.links) {
+      if (load[static_cast<size_t>(l)] >= caps[static_cast<size_t>(l)] * (1.0 - 1e-6) -
+                                              kFluidEpsilon) {
+        bottlenecked = true;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << "fair flow " << f.id << " is not at a bottleneck";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, AllocatorPropertyTest,
+                         ::testing::Range(1, 60));
+
+}  // namespace
+}  // namespace bds

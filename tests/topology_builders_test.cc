@@ -1,0 +1,165 @@
+#include "src/topology/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topology/routing.h"
+
+namespace bds {
+namespace {
+
+TEST(BuildGeoTopologyTest, DimensionsMatchOptions) {
+  GeoTopologyOptions opt;
+  opt.num_dcs = 8;
+  opt.servers_per_dc = 5;
+  auto topo = BuildGeoTopology(opt);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_dcs(), 8);
+  EXPECT_EQ(topo->num_servers(), 40);
+  for (DcId d = 0; d < 8; ++d) {
+    EXPECT_EQ(topo->ServersIn(d).size(), 5u);
+  }
+}
+
+TEST(BuildGeoTopologyTest, AllPairsReachable) {
+  GeoTopologyOptions opt;
+  opt.num_dcs = 10;
+  opt.servers_per_dc = 1;
+  opt.wan_density = 0.0;  // Only the ring — worst case for reachability.
+  auto topo = BuildGeoTopology(opt);
+  ASSERT_TRUE(topo.ok());
+  for (DcId a = 0; a < 10; ++a) {
+    for (DcId b = 0; b < 10; ++b) {
+      if (a == b) {
+        continue;
+      }
+      EXPECT_TRUE(ShortestWanRoute(*topo, a, b).ok()) << a << "->" << b;
+    }
+  }
+}
+
+TEST(BuildGeoTopologyTest, DeterministicForSeed) {
+  GeoTopologyOptions opt;
+  opt.num_dcs = 6;
+  opt.servers_per_dc = 2;
+  opt.seed = 42;
+  auto t1 = BuildGeoTopology(opt);
+  auto t2 = BuildGeoTopology(opt);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_EQ(t1->num_links(), t2->num_links());
+  for (LinkId l = 0; l < t1->num_links(); ++l) {
+    EXPECT_DOUBLE_EQ(t1->link(l).capacity, t2->link(l).capacity);
+  }
+}
+
+TEST(BuildGeoTopologyTest, CapacityJitterCreatesDiversity) {
+  GeoTopologyOptions opt;
+  opt.num_dcs = 10;
+  opt.servers_per_dc = 1;
+  opt.wan_capacity_jitter = 0.4;
+  auto topo = BuildGeoTopology(opt);
+  ASSERT_TRUE(topo.ok());
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const Link& l : topo->links()) {
+    if (l.type == LinkType::kWan) {
+      lo = std::min(lo, l.capacity);
+      hi = std::max(hi, l.capacity);
+    }
+  }
+  EXPECT_GT(hi / lo, 1.2);  // Jitter produced heterogeneous WAN capacities.
+}
+
+TEST(BuildGeoTopologyTest, LatenciesWithinRange) {
+  GeoTopologyOptions opt;
+  opt.num_dcs = 5;
+  opt.servers_per_dc = 1;
+  opt.min_latency = 0.005;
+  opt.max_latency = 0.050;
+  auto topo = BuildGeoTopology(opt);
+  ASSERT_TRUE(topo.ok());
+  for (DcId a = 0; a < 5; ++a) {
+    for (DcId b = static_cast<DcId>(a + 1); b < 5; ++b) {
+      double lat = topo->DcLatency(a, b);
+      EXPECT_GE(lat, 0.005);
+      EXPECT_LE(lat, 0.050);
+    }
+  }
+}
+
+TEST(BuildGeoTopologyTest, RejectsBadOptions) {
+  GeoTopologyOptions opt;
+  opt.num_dcs = 1;
+  EXPECT_FALSE(BuildGeoTopology(opt).ok());
+  opt.num_dcs = 3;
+  opt.servers_per_dc = 0;
+  EXPECT_FALSE(BuildGeoTopology(opt).ok());
+  opt.servers_per_dc = 1;
+  opt.wan_density = 1.5;
+  EXPECT_FALSE(BuildGeoTopology(opt).ok());
+  opt.wan_density = 0.5;
+  opt.wan_capacity_jitter = 1.0;
+  EXPECT_FALSE(BuildGeoTopology(opt).ok());
+}
+
+TEST(BuildFullMeshTest, EveryOrderedPairLinked) {
+  auto topo = BuildFullMesh(4, 2, Gbps(1.0), MBps(10.0), MBps(10.0));
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_dcs(), 4);
+  EXPECT_EQ(topo->num_servers(), 8);
+  for (DcId a = 0; a < 4; ++a) {
+    EXPECT_EQ(topo->WanLinksFrom(a).size(), 3u);
+  }
+}
+
+TEST(BuildFullMeshTest, RejectsBadDimensions) {
+  EXPECT_FALSE(BuildFullMesh(1, 1, 1.0, 1.0, 1.0).ok());
+  EXPECT_FALSE(BuildFullMesh(2, 0, 1.0, 1.0, 1.0).ok());
+}
+
+TEST(Figure3Test, MatchesPaperCapacities) {
+  Figure3Topology fig = BuildFigure3Example();
+  EXPECT_EQ(fig.topo.num_dcs(), 3);
+  EXPECT_EQ(fig.topo.num_servers(), 4);
+
+  // Relay server b: 6 GB/s down, 3 GB/s up.
+  const Server& b = fig.topo.server(fig.server_b);
+  EXPECT_DOUBLE_EQ(b.down_capacity, GBps(6.0));
+  EXPECT_DOUBLE_EQ(b.up_capacity, GBps(3.0));
+
+  // Direct IP route A->C is one 2 GB/s hop.
+  auto direct = ShortestWanRoute(fig.topo, fig.dc_a, fig.dc_c);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->hops(), 1);
+  EXPECT_DOUBLE_EQ(direct->BottleneckCapacity(fig.topo), GBps(2.0));
+
+  // The relay route A->B->C exists with a 3 GB/s WAN bottleneck.
+  auto routes = KShortestWanRoutes(fig.topo, fig.dc_a, fig.dc_c, 3);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_DOUBLE_EQ(routes[1].BottleneckCapacity(fig.topo), GBps(3.0));
+}
+
+TEST(GingkoExperimentTest, DefaultsMatchPaperSection23) {
+  auto topo = BuildGingkoExperiment();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_dcs(), 3);                // 1 source + 2 destinations.
+  EXPECT_EQ(topo->num_servers(), 3 * 640);
+  EXPECT_DOUBLE_EQ(topo->server(0).up_capacity, Mbps(20.0));
+}
+
+TEST(GingkoExperimentTest, CustomDimensions) {
+  auto topo = BuildGingkoExperiment(3, 10, MBps(5.0), Gbps(2.0));
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_dcs(), 4);
+  EXPECT_EQ(topo->num_servers(), 40);
+}
+
+TEST(TwoDcMicroTest, MatchesFig13bSetup) {
+  auto topo = BuildTwoDcMicro();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_dcs(), 2);
+  EXPECT_EQ(topo->num_servers(), 4);
+  EXPECT_DOUBLE_EQ(topo->server(0).up_capacity, MBps(20.0));
+}
+
+}  // namespace
+}  // namespace bds

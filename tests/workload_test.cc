@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "src/common/stats.h"
+#include "src/workload/background_traffic.h"
+#include "src/workload/job.h"
+#include "src/workload/trace.h"
+#include "src/workload/trace_generator.h"
+#include "src/topology/builders.h"
+
+namespace bds {
+namespace {
+
+TEST(MulticastJobTest, BlockCountRoundsUp) {
+  MulticastJob job = MakeJob(1, 0, {1}, MB(5.0), MB(2.0)).value();
+  EXPECT_EQ(job.num_blocks(), 3);
+  EXPECT_DOUBLE_EQ(job.BlockSizeOf(0), MB(2.0));
+  EXPECT_DOUBLE_EQ(job.BlockSizeOf(1), MB(2.0));
+  EXPECT_DOUBLE_EQ(job.BlockSizeOf(2), MB(1.0));
+}
+
+TEST(MulticastJobTest, ExactMultipleHasFullBlocks) {
+  MulticastJob job = MakeJob(1, 0, {1}, MB(6.0), MB(2.0)).value();
+  EXPECT_EQ(job.num_blocks(), 3);
+  EXPECT_DOUBLE_EQ(job.BlockSizeOf(2), MB(2.0));
+}
+
+TEST(MulticastJobTest, MakeJobValidates) {
+  EXPECT_FALSE(MakeJob(1, 0, {}, MB(1.0)).ok());
+  EXPECT_FALSE(MakeJob(1, 0, {0}, MB(1.0)).ok());
+  EXPECT_FALSE(MakeJob(1, 0, {1}, 0.0).ok());
+  EXPECT_FALSE(MakeJob(1, 0, {1}, MB(1.0), 0.0).ok());
+}
+
+TEST(MulticastJobTest, ValidateChecksDcRange) {
+  MulticastJob job = MakeJob(1, 0, {1, 2}, MB(1.0)).value();
+  EXPECT_TRUE(job.Validate(3).ok());
+  EXPECT_FALSE(job.Validate(2).ok());  // DC 2 out of range.
+}
+
+TEST(TraceTest, StatsComputeMulticastShare) {
+  Trace trace;
+  TraceRecord mc;
+  mc.id = 0;
+  mc.app_type = "a";
+  mc.multicast = true;
+  mc.source_dc = 0;
+  mc.dest_dcs = {1, 2};
+  mc.bytes = 900.0;
+  trace.Add(mc);
+  TraceRecord p2p;
+  p2p.id = 1;
+  p2p.app_type = "a";
+  p2p.multicast = false;
+  p2p.source_dc = 0;
+  p2p.dest_dcs = {1};
+  p2p.bytes = 100.0;
+  trace.Add(p2p);
+
+  TraceStats stats = trace.ComputeStats(/*num_dcs=*/3);
+  EXPECT_DOUBLE_EQ(stats.multicast_byte_share, 0.9);
+  EXPECT_EQ(stats.num_records, 2);
+  EXPECT_EQ(stats.num_multicast, 1);
+  ASSERT_EQ(stats.dest_fraction.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.dest_fraction[0], 1.0);  // 2 of 2 possible dests.
+  ASSERT_EQ(stats.per_app_multicast_share.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.per_app_multicast_share[0].second, 0.9);
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  Trace trace;
+  TraceRecord r;
+  r.id = 42;
+  r.start_time = 12.5;
+  r.app_type = "blog-articles";
+  r.multicast = true;
+  r.source_dc = 3;
+  r.dest_dcs = {1, 5, 7};
+  r.bytes = 1.5e12;
+  trace.Add(r);
+
+  std::string path = std::string(::testing::TempDir()) + "/trace_roundtrip.csv";
+  ASSERT_TRUE(trace.SaveCsv(path).ok());
+  auto loaded = Trace::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1);
+  const TraceRecord& l = loaded->records()[0];
+  EXPECT_EQ(l.id, 42);
+  EXPECT_DOUBLE_EQ(l.start_time, 12.5);
+  EXPECT_EQ(l.app_type, "blog-articles");
+  EXPECT_TRUE(l.multicast);
+  EXPECT_EQ(l.source_dc, 3);
+  EXPECT_EQ(l.dest_dcs, (std::vector<DcId>{1, 5, 7}));
+  EXPECT_DOUBLE_EQ(l.bytes, 1.5e12);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadMissingFileFails) {
+  EXPECT_FALSE(Trace::LoadCsv("/nonexistent/nope.csv").ok());
+}
+
+TEST(TraceGeneratorTest, MatchesTable1MulticastShares) {
+  TraceGeneratorOptions opt;
+  opt.num_transfers = 2000;
+  opt.seed = 5;
+  TraceGenerator gen(opt);
+  auto trace = gen.Generate();
+  ASSERT_TRUE(trace.ok());
+  TraceStats stats = trace->ComputeStats(opt.num_dcs);
+  // Overall share ~91%; per-app shares within 2% of Table 1 targets.
+  EXPECT_NEAR(stats.multicast_byte_share, 0.91, 0.04);
+  for (const auto& [app, share] : stats.per_app_multicast_share) {
+    double target = 0.0;
+    for (const AppProfile& p : BaiduAppMix()) {
+      if (p.name == app) {
+        target = p.multicast_share;
+      }
+    }
+    ASSERT_GT(target, 0.0) << "unknown app " << app;
+    EXPECT_NEAR(share, target, 0.02) << app;
+  }
+}
+
+TEST(TraceGeneratorTest, MatchesFig2aDestinationFractions) {
+  TraceGeneratorOptions opt;
+  opt.num_transfers = 4000;
+  opt.seed = 6;
+  TraceGenerator gen(opt);
+  auto trace = gen.Generate();
+  ASSERT_TRUE(trace.ok());
+  TraceStats stats = trace->ComputeStats(opt.num_dcs);
+  EmpiricalDistribution dist;
+  dist.AddAll(stats.dest_fraction);
+  // Fig 2a: 90% of transfers reach >= 60% of DCs; 70% reach >= 80%.
+  EXPECT_NEAR(1.0 - dist.CdfAt(0.6 - 1e-9), 0.90, 0.03);
+  EXPECT_NEAR(1.0 - dist.CdfAt(0.8 - 1e-9), 0.70, 0.03);
+}
+
+TEST(TraceGeneratorTest, MatchesFig2bSizes) {
+  TraceGeneratorOptions opt;
+  opt.num_transfers = 4000;
+  opt.seed = 7;
+  TraceGenerator gen(opt);
+  auto trace = gen.Generate();
+  ASSERT_TRUE(trace.ok());
+  TraceStats stats = trace->ComputeStats(opt.num_dcs);
+  EmpiricalDistribution dist;
+  dist.AddAll(stats.multicast_sizes);
+  // Fig 2b: 60% of multicast transfers > 1 TB; 90% > 50 GB.
+  EXPECT_NEAR(1.0 - dist.CdfAt(TB(1.0)), 0.60, 0.03);
+  EXPECT_NEAR(1.0 - dist.CdfAt(GB(50.0)), 0.90, 0.03);
+}
+
+TEST(TraceGeneratorTest, DeterministicForSeed) {
+  TraceGeneratorOptions opt;
+  opt.num_transfers = 50;
+  TraceGenerator g1(opt);
+  TraceGenerator g2(opt);
+  auto t1 = g1.Generate();
+  auto t2 = g2.Generate();
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_EQ(t1->size(), t2->size());
+  for (int64_t i = 0; i < t1->size(); ++i) {
+    EXPECT_DOUBLE_EQ(t1->records()[static_cast<size_t>(i)].bytes,
+                     t2->records()[static_cast<size_t>(i)].bytes);
+  }
+}
+
+TEST(TraceGeneratorTest, RecordsChronological) {
+  TraceGeneratorOptions opt;
+  opt.num_transfers = 200;
+  TraceGenerator gen(opt);
+  auto trace = gen.Generate();
+  ASSERT_TRUE(trace.ok());
+  for (int64_t i = 1; i < trace->size(); ++i) {
+    EXPECT_GE(trace->records()[static_cast<size_t>(i)].start_time,
+              trace->records()[static_cast<size_t>(i) - 1].start_time);
+  }
+}
+
+TEST(TraceGeneratorTest, DestinationsValidAndDistinct) {
+  TraceGeneratorOptions opt;
+  opt.num_transfers = 300;
+  opt.num_dcs = 10;
+  TraceGenerator gen(opt);
+  auto trace = gen.Generate();
+  ASSERT_TRUE(trace.ok());
+  for (const TraceRecord& r : trace->records()) {
+    if (!r.multicast) {
+      continue;
+    }
+    std::set<DcId> seen;
+    for (DcId d : r.dest_dcs) {
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, 10);
+      EXPECT_NE(d, r.source_dc);
+      EXPECT_TRUE(seen.insert(d).second);
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, RejectsBadOptions) {
+  TraceGeneratorOptions opt;
+  opt.num_dcs = 1;
+  EXPECT_FALSE(TraceGenerator(opt).Generate().ok());
+  opt.num_dcs = 5;
+  opt.num_transfers = 0;
+  EXPECT_FALSE(TraceGenerator(opt).Generate().ok());
+}
+
+TEST(JobsFromTraceTest, ConvertsMulticastOnlyWithScale) {
+  TraceGeneratorOptions opt;
+  opt.num_transfers = 100;
+  TraceGenerator gen(opt);
+  auto trace = gen.Generate();
+  ASSERT_TRUE(trace.ok());
+  auto jobs = JobsFromTrace(*trace, MB(2.0), /*size_scale=*/1e-4);
+  EXPECT_EQ(static_cast<int>(jobs.size()), 100);
+  for (const MulticastJob& j : jobs) {
+    EXPECT_GT(j.total_bytes, 0.0);
+    EXPECT_LT(j.total_bytes, TB(1.0));  // Scaled down.
+    EXPECT_DOUBLE_EQ(j.block_size, MB(2.0));
+  }
+}
+
+TEST(BackgroundTrafficTest, WanOnlyAndWithinBounds) {
+  auto topo = BuildFullMesh(3, 2, Gbps(10.0), MBps(20.0), MBps(20.0)).value();
+  BackgroundTrafficModel model(&topo);
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    for (double t : {0.0, 3600.0, 40000.0, 80000.0}) {
+      Rate r = model.RateAt(l, t);
+      if (topo.link(l).type == LinkType::kWan) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, topo.link(l).capacity * 0.98 + 1.0);
+      } else {
+        EXPECT_DOUBLE_EQ(r, 0.0);
+      }
+    }
+  }
+}
+
+TEST(BackgroundTrafficTest, DiurnalSwingVisible) {
+  auto topo = BuildFullMesh(2, 1, Gbps(10.0), MBps(20.0), MBps(20.0)).value();
+  BackgroundTrafficModel::Options opt;
+  opt.mean_utilization = 0.4;
+  opt.diurnal_amplitude = 0.2;
+  opt.noise = 0.0;
+  BackgroundTrafficModel model(&topo, opt);
+  LinkId wan = kInvalidLink;
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (topo.link(l).type == LinkType::kWan) {
+      wan = l;
+    }
+  }
+  double lo = 1e18;
+  double hi = 0.0;
+  for (double t = 0.0; t < 86400.0; t += 600.0) {
+    double u = model.RateAt(wan, t) / topo.link(wan).capacity;
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.3);
+  EXPECT_GT(hi, 0.5);
+}
+
+TEST(BackgroundTrafficTest, LatencyInflationShape) {
+  // ~1x below the threshold, super-linear beyond (30x at sustained ~99%).
+  EXPECT_DOUBLE_EQ(BackgroundTrafficModel::LatencyInflation(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BackgroundTrafficModel::LatencyInflation(0.8), 1.0);
+  double at90 = BackgroundTrafficModel::LatencyInflation(0.9);
+  double at99 = BackgroundTrafficModel::LatencyInflation(0.993);
+  EXPECT_GT(at90, 1.5);
+  EXPECT_GT(at99, 25.0);
+  EXPECT_LT(at99, 200.0 + 1e-9);
+  EXPECT_GT(at99, at90);
+}
+
+}  // namespace
+}  // namespace bds
