@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_balance.dir/bench_appendix_balance.cc.o"
+  "CMakeFiles/bench_appendix_balance.dir/bench_appendix_balance.cc.o.d"
+  "bench_appendix_balance"
+  "bench_appendix_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

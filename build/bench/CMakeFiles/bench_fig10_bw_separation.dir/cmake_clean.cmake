@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bw_separation.dir/bench_fig10_bw_separation.cc.o"
+  "CMakeFiles/bench_fig10_bw_separation.dir/bench_fig10_bw_separation.cc.o.d"
+  "bench_fig10_bw_separation"
+  "bench_fig10_bw_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bw_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_bw_separation.
+# This may be replaced when dependencies are built.

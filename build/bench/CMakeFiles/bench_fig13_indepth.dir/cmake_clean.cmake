@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_indepth.dir/bench_fig13_indepth.cc.o"
+  "CMakeFiles/bench_fig13_indepth.dir/bench_fig13_indepth.cc.o.d"
+  "bench_fig13_indepth"
+  "bench_fig13_indepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_indepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_disjointness.dir/bench_fig4_disjointness.cc.o"
+  "CMakeFiles/bench_fig4_disjointness.dir/bench_fig4_disjointness.cc.o.d"
+  "bench_fig4_disjointness"
+  "bench_fig4_disjointness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_disjointness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

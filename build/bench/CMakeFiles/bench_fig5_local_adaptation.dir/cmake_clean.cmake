@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_local_adaptation.dir/bench_fig5_local_adaptation.cc.o"
+  "CMakeFiles/bench_fig5_local_adaptation.dir/bench_fig5_local_adaptation.cc.o.d"
+  "bench_fig5_local_adaptation"
+  "bench_fig5_local_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_local_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

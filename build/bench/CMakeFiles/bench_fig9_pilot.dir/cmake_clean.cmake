@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_pilot.dir/bench_fig9_pilot.cc.o"
+  "CMakeFiles/bench_fig9_pilot.dir/bench_fig9_pilot.cc.o.d"
+  "bench_fig9_pilot"
+  "bench_fig9_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_replication_failover.dir/log_replication_failover.cpp.o"
+  "CMakeFiles/log_replication_failover.dir/log_replication_failover.cpp.o.d"
+  "log_replication_failover"
+  "log_replication_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_replication_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

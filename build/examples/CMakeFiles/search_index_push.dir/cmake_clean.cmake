@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_index_push.dir/search_index_push.cpp.o"
+  "CMakeFiles/search_index_push.dir/search_index_push.cpp.o.d"
+  "search_index_push"
+  "search_index_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_index_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_replay.cpp" "examples/CMakeFiles/trace_replay.dir/trace_replay.cpp.o" "gcc" "examples/CMakeFiles/trace_replay.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/bds_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bds_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/bds_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/bds_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/bds_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bds_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

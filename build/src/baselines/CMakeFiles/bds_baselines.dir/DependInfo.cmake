@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/akamai.cc" "src/baselines/CMakeFiles/bds_baselines.dir/akamai.cc.o" "gcc" "src/baselines/CMakeFiles/bds_baselines.dir/akamai.cc.o.d"
+  "/root/repo/src/baselines/chain.cc" "src/baselines/CMakeFiles/bds_baselines.dir/chain.cc.o" "gcc" "src/baselines/CMakeFiles/bds_baselines.dir/chain.cc.o.d"
+  "/root/repo/src/baselines/decentralized_engine.cc" "src/baselines/CMakeFiles/bds_baselines.dir/decentralized_engine.cc.o" "gcc" "src/baselines/CMakeFiles/bds_baselines.dir/decentralized_engine.cc.o.d"
+  "/root/repo/src/baselines/gingko.cc" "src/baselines/CMakeFiles/bds_baselines.dir/gingko.cc.o" "gcc" "src/baselines/CMakeFiles/bds_baselines.dir/gingko.cc.o.d"
+  "/root/repo/src/baselines/ideal.cc" "src/baselines/CMakeFiles/bds_baselines.dir/ideal.cc.o" "gcc" "src/baselines/CMakeFiles/bds_baselines.dir/ideal.cc.o.d"
+  "/root/repo/src/baselines/strategy.cc" "src/baselines/CMakeFiles/bds_baselines.dir/strategy.cc.o" "gcc" "src/baselines/CMakeFiles/bds_baselines.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bds_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/bds_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/bds_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/bds_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

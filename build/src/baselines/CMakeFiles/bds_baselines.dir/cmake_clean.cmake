@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_baselines.dir/akamai.cc.o"
+  "CMakeFiles/bds_baselines.dir/akamai.cc.o.d"
+  "CMakeFiles/bds_baselines.dir/chain.cc.o"
+  "CMakeFiles/bds_baselines.dir/chain.cc.o.d"
+  "CMakeFiles/bds_baselines.dir/decentralized_engine.cc.o"
+  "CMakeFiles/bds_baselines.dir/decentralized_engine.cc.o.d"
+  "CMakeFiles/bds_baselines.dir/gingko.cc.o"
+  "CMakeFiles/bds_baselines.dir/gingko.cc.o.d"
+  "CMakeFiles/bds_baselines.dir/ideal.cc.o"
+  "CMakeFiles/bds_baselines.dir/ideal.cc.o.d"
+  "CMakeFiles/bds_baselines.dir/strategy.cc.o"
+  "CMakeFiles/bds_baselines.dir/strategy.cc.o.d"
+  "libbds_baselines.a"
+  "libbds_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

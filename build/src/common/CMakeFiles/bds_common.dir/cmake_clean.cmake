@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_common.dir/flags.cc.o"
+  "CMakeFiles/bds_common.dir/flags.cc.o.d"
+  "CMakeFiles/bds_common.dir/logging.cc.o"
+  "CMakeFiles/bds_common.dir/logging.cc.o.d"
+  "CMakeFiles/bds_common.dir/rng.cc.o"
+  "CMakeFiles/bds_common.dir/rng.cc.o.d"
+  "CMakeFiles/bds_common.dir/stats.cc.o"
+  "CMakeFiles/bds_common.dir/stats.cc.o.d"
+  "CMakeFiles/bds_common.dir/status.cc.o"
+  "CMakeFiles/bds_common.dir/status.cc.o.d"
+  "CMakeFiles/bds_common.dir/table.cc.o"
+  "CMakeFiles/bds_common.dir/table.cc.o.d"
+  "libbds_common.a"
+  "libbds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_control.dir/controller.cc.o"
+  "CMakeFiles/bds_control.dir/controller.cc.o.d"
+  "CMakeFiles/bds_control.dir/monitors.cc.o"
+  "CMakeFiles/bds_control.dir/monitors.cc.o.d"
+  "CMakeFiles/bds_control.dir/replication.cc.o"
+  "CMakeFiles/bds_control.dir/replication.cc.o.d"
+  "libbds_control.a"
+  "libbds_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_core.dir/service.cc.o"
+  "CMakeFiles/bds_core.dir/service.cc.o.d"
+  "libbds_core.a"
+  "libbds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

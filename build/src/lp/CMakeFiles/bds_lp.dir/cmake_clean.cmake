@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_lp.dir/lp_problem.cc.o"
+  "CMakeFiles/bds_lp.dir/lp_problem.cc.o.d"
+  "CMakeFiles/bds_lp.dir/mcf.cc.o"
+  "CMakeFiles/bds_lp.dir/mcf.cc.o.d"
+  "CMakeFiles/bds_lp.dir/simplex.cc.o"
+  "CMakeFiles/bds_lp.dir/simplex.cc.o.d"
+  "libbds_lp.a"
+  "libbds_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

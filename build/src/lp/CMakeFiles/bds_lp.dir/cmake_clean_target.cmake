@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbds_lp.a"
+)

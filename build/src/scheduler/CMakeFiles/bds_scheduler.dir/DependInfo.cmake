@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/bandwidth_separator.cc" "src/scheduler/CMakeFiles/bds_scheduler.dir/bandwidth_separator.cc.o" "gcc" "src/scheduler/CMakeFiles/bds_scheduler.dir/bandwidth_separator.cc.o.d"
+  "/root/repo/src/scheduler/controller_algorithm.cc" "src/scheduler/CMakeFiles/bds_scheduler.dir/controller_algorithm.cc.o" "gcc" "src/scheduler/CMakeFiles/bds_scheduler.dir/controller_algorithm.cc.o.d"
+  "/root/repo/src/scheduler/replica_state.cc" "src/scheduler/CMakeFiles/bds_scheduler.dir/replica_state.cc.o" "gcc" "src/scheduler/CMakeFiles/bds_scheduler.dir/replica_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bds_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/bds_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bds_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_scheduler.dir/bandwidth_separator.cc.o"
+  "CMakeFiles/bds_scheduler.dir/bandwidth_separator.cc.o.d"
+  "CMakeFiles/bds_scheduler.dir/controller_algorithm.cc.o"
+  "CMakeFiles/bds_scheduler.dir/controller_algorithm.cc.o.d"
+  "CMakeFiles/bds_scheduler.dir/replica_state.cc.o"
+  "CMakeFiles/bds_scheduler.dir/replica_state.cc.o.d"
+  "libbds_scheduler.a"
+  "libbds_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/bandwidth_allocator.cc" "src/simulator/CMakeFiles/bds_simulator.dir/bandwidth_allocator.cc.o" "gcc" "src/simulator/CMakeFiles/bds_simulator.dir/bandwidth_allocator.cc.o.d"
+  "/root/repo/src/simulator/latency_model.cc" "src/simulator/CMakeFiles/bds_simulator.dir/latency_model.cc.o" "gcc" "src/simulator/CMakeFiles/bds_simulator.dir/latency_model.cc.o.d"
+  "/root/repo/src/simulator/network_simulator.cc" "src/simulator/CMakeFiles/bds_simulator.dir/network_simulator.cc.o" "gcc" "src/simulator/CMakeFiles/bds_simulator.dir/network_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bds_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

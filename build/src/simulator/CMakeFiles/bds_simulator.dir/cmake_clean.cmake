@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_simulator.dir/bandwidth_allocator.cc.o"
+  "CMakeFiles/bds_simulator.dir/bandwidth_allocator.cc.o.d"
+  "CMakeFiles/bds_simulator.dir/latency_model.cc.o"
+  "CMakeFiles/bds_simulator.dir/latency_model.cc.o.d"
+  "CMakeFiles/bds_simulator.dir/network_simulator.cc.o"
+  "CMakeFiles/bds_simulator.dir/network_simulator.cc.o.d"
+  "libbds_simulator.a"
+  "libbds_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/builders.cc" "src/topology/CMakeFiles/bds_topology.dir/builders.cc.o" "gcc" "src/topology/CMakeFiles/bds_topology.dir/builders.cc.o.d"
+  "/root/repo/src/topology/path.cc" "src/topology/CMakeFiles/bds_topology.dir/path.cc.o" "gcc" "src/topology/CMakeFiles/bds_topology.dir/path.cc.o.d"
+  "/root/repo/src/topology/routing.cc" "src/topology/CMakeFiles/bds_topology.dir/routing.cc.o" "gcc" "src/topology/CMakeFiles/bds_topology.dir/routing.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/topology/CMakeFiles/bds_topology.dir/topology.cc.o" "gcc" "src/topology/CMakeFiles/bds_topology.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_topology.dir/builders.cc.o"
+  "CMakeFiles/bds_topology.dir/builders.cc.o.d"
+  "CMakeFiles/bds_topology.dir/path.cc.o"
+  "CMakeFiles/bds_topology.dir/path.cc.o.d"
+  "CMakeFiles/bds_topology.dir/routing.cc.o"
+  "CMakeFiles/bds_topology.dir/routing.cc.o.d"
+  "CMakeFiles/bds_topology.dir/topology.cc.o"
+  "CMakeFiles/bds_topology.dir/topology.cc.o.d"
+  "libbds_topology.a"
+  "libbds_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_workload.dir/background_traffic.cc.o"
+  "CMakeFiles/bds_workload.dir/background_traffic.cc.o.d"
+  "CMakeFiles/bds_workload.dir/job.cc.o"
+  "CMakeFiles/bds_workload.dir/job.cc.o.d"
+  "CMakeFiles/bds_workload.dir/trace.cc.o"
+  "CMakeFiles/bds_workload.dir/trace.cc.o.d"
+  "CMakeFiles/bds_workload.dir/trace_generator.cc.o"
+  "CMakeFiles/bds_workload.dir/trace_generator.cc.o.d"
+  "libbds_workload.a"
+  "libbds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

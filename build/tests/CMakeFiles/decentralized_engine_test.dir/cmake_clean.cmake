@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_engine_test.dir/decentralized_engine_test.cc.o"
+  "CMakeFiles/decentralized_engine_test.dir/decentralized_engine_test.cc.o.d"
+  "decentralized_engine_test"
+  "decentralized_engine_test.pdb"
+  "decentralized_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_algorithm_test.dir/scheduler_algorithm_test.cc.o"
+  "CMakeFiles/scheduler_algorithm_test.dir/scheduler_algorithm_test.cc.o.d"
+  "scheduler_algorithm_test"
+  "scheduler_algorithm_test.pdb"
+  "scheduler_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

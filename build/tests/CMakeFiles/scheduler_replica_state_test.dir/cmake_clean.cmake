@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_replica_state_test.dir/scheduler_replica_state_test.cc.o"
+  "CMakeFiles/scheduler_replica_state_test.dir/scheduler_replica_state_test.cc.o.d"
+  "scheduler_replica_state_test"
+  "scheduler_replica_state_test.pdb"
+  "scheduler_replica_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_replica_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

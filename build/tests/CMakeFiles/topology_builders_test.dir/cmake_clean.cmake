@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_builders_test.dir/topology_builders_test.cc.o"
+  "CMakeFiles/topology_builders_test.dir/topology_builders_test.cc.o.d"
+  "topology_builders_test"
+  "topology_builders_test.pdb"
+  "topology_builders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_builders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_routing_test.dir/topology_routing_test.cc.o"
+  "CMakeFiles/topology_routing_test.dir/topology_routing_test.cc.o.d"
+  "topology_routing_test"
+  "topology_routing_test.pdb"
+  "topology_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

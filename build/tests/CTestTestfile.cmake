@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_status_test[1]_include.cmake")
+include("/root/repo/build/tests/common_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/common_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/common_table_flags_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_builders_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_mcf_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_replica_state_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_algorithm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_service_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/control_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/decentralized_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
