@@ -312,6 +312,31 @@ void DecentralizedEngine::HandleServerFailure(ServerId server) {
   }
 }
 
+int DecentralizedEngine::HandleLinkFault(LinkId link) {
+  std::vector<int64_t> doomed;
+  for (const auto& [tag, t] : transfers_) {
+    const Flow* flow = sim_->FindFlow(t.flow);
+    if (flow == nullptr) {
+      continue;
+    }
+    if (std::find(flow->links.begin(), flow->links.end(), link) != flow->links.end()) {
+      doomed.push_back(tag);
+    }
+  }
+  std::sort(doomed.begin(), doomed.end());  // Map order is incidental.
+  for (int64_t tag : doomed) {
+    Transfer t = transfers_[tag];
+    transfers_.erase(tag);
+    (void)sim_->CancelFlow(t.flow);
+    --in_flight_[t.dst];
+    --active_uploads_[t.src];
+    queue_[t.dst].push_back(Want{t.job, t.block});
+    PumpServer(t.dst);  // May pick a source reachable over surviving links.
+    ServeNextUpload(t.src);
+  }
+  return static_cast<int>(doomed.size());
+}
+
 bool DecentralizedEngine::OnFlowComplete(const FlowRecord& record) {
   if (record.tag2 != kFlowOwnerTag) {
     return false;
@@ -324,6 +349,14 @@ bool DecentralizedEngine::OnFlowComplete(const FlowRecord& record) {
   transfers_.erase(it);
   --in_flight_[t.dst];
   --active_uploads_[t.src];
+  if (corruption_hook_ && corruption_hook_(t.job, t.block)) {
+    // Checksum failed: the bytes crossed the network but the block is not
+    // credited; the receiver queues it again.
+    queue_[t.dst].push_back(Want{t.job, t.block});
+    ServeNextUpload(t.src);
+    PumpServer(t.dst);
+    return true;
+  }
   // The engine is the data plane; record the delivery in the global state.
   (void)state_->NoteDelivery(t.job, t.block, t.src, t.dst);
   if (on_delivery_) {

@@ -93,6 +93,16 @@ class DecentralizedEngine {
   // affected blocks (server/agent failure, §5.3 item 2).
   void HandleServerFailure(ServerId server);
 
+  // Cancels every in-flight download crossing `link` (a hard link-down) and
+  // requeues the affected blocks; receivers re-pick sources immediately.
+  // Returns the number of downloads killed.
+  int HandleLinkFault(LinkId link);
+
+  // Checksum verification hook: when set and it returns true for a finished
+  // download, the block is discarded (not credited) and requeued.
+  using CorruptionHook = std::function<bool(JobId, int64_t block)>;
+  void SetCorruptionHook(CorruptionHook hook) { corruption_hook_ = std::move(hook); }
+
   // Periodic kick: retries receivers whose queues stalled because no visible
   // neighbor held their blocks yet, and re-draws RanSub neighbor sets when
   // the epoch rolled over. Call once per simulated second or cycle.
@@ -167,6 +177,7 @@ class DecentralizedEngine {
   bool IsNeighbor(ServerId receiver, ServerId candidate);
 
   DeliveryCallback on_delivery_;
+  CorruptionHook corruption_hook_;
 };
 
 }  // namespace bds

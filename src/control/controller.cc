@@ -1,6 +1,7 @@
 #include "src/control/controller.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace bds {
 
@@ -13,6 +14,82 @@ std::vector<double> RunReport::ServerCompletionMinutes() const {
   return out;
 }
 
+namespace {
+// splitmix64-style stream hasher for RunReport::Fingerprint.
+struct Digest {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  void Mix(uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 31;
+  }
+  void MixDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+};
+}  // namespace
+
+uint64_t RunReport::Fingerprint() const {
+  Digest d;
+  d.Mix(completed ? 1 : 0);
+  d.MixDouble(completion_time);
+  d.Mix(static_cast<uint64_t>(deliveries));
+  d.Mix(static_cast<uint64_t>(cycles.size()));
+  for (const CycleStats& c : cycles) {
+    // Wall-clock-derived values (scheduling/routing seconds, and the
+    // feedback delay, which folds the algorithm's measured runtime in) are
+    // excluded: they vary run to run without the simulation differing.
+    d.Mix(static_cast<uint64_t>(c.cycle));
+    d.MixDouble(c.start_time);
+    d.Mix(c.controller_up ? 1 : 0);
+    d.Mix(static_cast<uint64_t>(c.scheduled_blocks));
+    d.Mix(static_cast<uint64_t>(c.merged_subtasks));
+    d.Mix(static_cast<uint64_t>(c.transfers_started));
+    d.Mix(static_cast<uint64_t>(c.blocks_delivered));
+  }
+  auto mix_sorted = [&d](const auto& map) {
+    std::vector<std::pair<int64_t, double>> entries;
+    entries.reserve(map.size());
+    for (const auto& [k, v] : map) {
+      entries.emplace_back(static_cast<int64_t>(k), v);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [k, v] : entries) {
+      d.Mix(static_cast<uint64_t>(k));
+      d.MixDouble(v);
+    }
+  };
+  mix_sorted(job_completion);
+  mix_sorted(dc_completion);
+  for (const auto& [server, t] : server_completion) {  // Already sorted.
+    d.Mix(static_cast<uint64_t>(server));
+    d.MixDouble(t);
+  }
+  {
+    std::vector<std::pair<ServerId, ReplicaState::ServerOriginStats>> entries(
+        origin_stats.begin(), origin_stats.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [server, s] : entries) {
+      d.Mix(static_cast<uint64_t>(server));
+      d.Mix(static_cast<uint64_t>(s.from_origin));
+      d.Mix(static_cast<uint64_t>(s.total));
+    }
+  }
+  d.Mix(static_cast<uint64_t>(faults.link_events));
+  d.Mix(static_cast<uint64_t>(faults.flows_killed));
+  d.Mix(static_cast<uint64_t>(faults.reports_lost));
+  d.Mix(static_cast<uint64_t>(faults.reports_forced));
+  d.Mix(static_cast<uint64_t>(faults.pushes_dropped));
+  d.Mix(static_cast<uint64_t>(faults.pushes_escalated));
+  d.Mix(static_cast<uint64_t>(faults.blocks_corrupted));
+  d.MixDouble(max_link_overshoot);
+  return d.h;
+}
+
 BdsController::BdsController(const Topology* topo, const WanRoutingTable* routing,
                              ControllerOptions options)
     : topo_(topo),
@@ -20,6 +97,7 @@ BdsController::BdsController(const Topology* topo, const WanRoutingTable* routin
       options_(options),
       sim_(topo),
       state_(topo),
+      fault_(options.seed ^ 0xFA017ULL),
       algorithm_(topo, routing, options.algorithm),
       separator_(topo, options.separation),
       agent_monitor_(topo, options.controller_dc, options.latency),
@@ -33,9 +111,12 @@ BdsController::BdsController(const Topology* topo, const WanRoutingTable* routin
                 }()) {
   BDS_CHECK(topo != nullptr && routing != nullptr);
   sim_.SetCompletionCallback([this](const FlowRecord& r) { OnFlowComplete(r); });
-  fallback_.SetDeliveryCallback([this](JobId job, int64_t, ServerId, ServerId dst) {
+  fallback_.SetDeliveryCallback([this](JobId job, int64_t block, ServerId src, ServerId dst) {
+    MirrorDelivery(job, block, src, dst);
     RecordDelivery(job, dst, sim_.now());
   });
+  fallback_.SetCorruptionHook(
+      [this](JobId, int64_t) { return fault_.DrawBlockCorrupted(); });
   fallback_.Deactivate();
 }
 
@@ -50,20 +131,62 @@ Status BdsController::SubmitJob(const MulticastJob& job) {
   return Status::Ok();
 }
 
-void BdsController::ScheduleServerFailure(ServerId server, SimTime at) {
+Status BdsController::ValidateFailureEvent(ServerId server, SimTime at, bool recovery) const {
+  if (server < 0 || server >= topo_->num_servers()) {
+    return InvalidArgumentError("failure script: no such server");
+  }
+  if (at < 0.0) {
+    return InvalidArgumentError("failure script: event time is negative");
+  }
+  // Replay every already-scheduled event for this server up to `at` to find
+  // whether it would be up or down when the new event fires.
+  std::vector<std::pair<SimTime, bool>> events;  // (time, recovery)
+  for (const ServerFailure& f : failures_) {
+    if (f.server == server && f.at <= at + kFluidEpsilon) {
+      events.emplace_back(f.at, f.recovery);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  bool down = false;
+  for (const auto& [t, rec] : events) {
+    down = !rec;
+  }
+  if (!recovery && down) {
+    return FailedPreconditionError("failure script: server is already failed at that time");
+  }
+  if (recovery && !down) {
+    return FailedPreconditionError(
+        "failure script: recovery scheduled for a server that is not failed at that time");
+  }
+  return Status::Ok();
+}
+
+Status BdsController::ScheduleServerFailure(ServerId server, SimTime at) {
+  BDS_RETURN_IF_ERROR(ValidateFailureEvent(server, at, /*recovery=*/false));
   failures_.push_back(ServerFailure{server, at, /*recovery=*/false});
   std::sort(failures_.begin() + static_cast<long>(next_failure_), failures_.end(),
             [](const ServerFailure& a, const ServerFailure& b) { return a.at < b.at; });
+  return Status::Ok();
 }
 
-void BdsController::ScheduleServerRecovery(ServerId server, SimTime at) {
+Status BdsController::ScheduleServerRecovery(ServerId server, SimTime at) {
+  BDS_RETURN_IF_ERROR(ValidateFailureEvent(server, at, /*recovery=*/true));
   failures_.push_back(ServerFailure{server, at, /*recovery=*/true});
   std::sort(failures_.begin() + static_cast<long>(next_failure_), failures_.end(),
             [](const ServerFailure& a, const ServerFailure& b) { return a.at < b.at; });
+  return Status::Ok();
 }
 
-void BdsController::ScheduleControllerOutage(SimTime from, SimTime to) {
+Status BdsController::ScheduleControllerOutage(SimTime from, SimTime to) {
+  if (from >= to) {
+    return InvalidArgumentError("failure script: controller outage window is inverted");
+  }
+  if (from < 0.0) {
+    return InvalidArgumentError("failure script: controller outage starts before t=0");
+  }
   outages_.push_back(Outage{from, to});
+  return Status::Ok();
 }
 
 void BdsController::SetBackgroundTraffic(BackgroundTrafficModel* model) {
@@ -77,6 +200,12 @@ void BdsController::RegisterArrivals(SimTime now) {
     const MulticastJob& job = arriving_jobs_[next_arrival_];
     Status s = state_.AddJob(job);
     BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
+    if (view_ != nullptr) {
+      // Job submission goes through the controller, so the view learns of
+      // new jobs immediately — only delivery reports can go stale.
+      Status vs = view_->AddJob(job);
+      BDS_CHECK_MSG(vs.ok(), vs.ToString().c_str());
+    }
     // Track participating DCs for feedback-delay sampling.
     auto note_dc = [this](DcId d) {
       if (std::find(active_agent_dcs_.begin(), active_agent_dcs_.end(), d) ==
@@ -103,12 +232,27 @@ void BdsController::ApplyFailures(SimTime now) {
     ++next_failure_;
     if (recovery) {
       state_.RestoreServer(server);
+      if (view_ != nullptr) {
+        view_->RestoreServer(server);
+      }
       if (fallback_.active()) {
         fallback_.Activate();  // Pick up the restored server's owed shards.
       }
       continue;
     }
     state_.RemoveServer(server);
+    if (view_ != nullptr) {
+      // Failures are detected by the controller's own heartbeats, not agent
+      // status reports, so the view mirrors them instantly. Buffered delivery
+      // reports TO the failed server must die with it: flushing them later
+      // would mark re-owed blocks present in the view and starve them.
+      view_->RemoveServer(server);
+      for (auto& [dc, pending] : unreported_) {
+        pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                     [server](const PendingReport& r) { return r.dst == server; }),
+                      pending.end());
+      }
+    }
     fallback_.HandleServerFailure(server);
     // Cancel centralized transfers touching the failed server; their
     // deliveries go back to pending via the replica state.
@@ -138,6 +282,71 @@ bool BdsController::ControllerUp(SimTime now) {
   return replicas_.HasMaster(now);
 }
 
+void BdsController::ApplyLinkFaults(SimTime now) {
+  for (const LinkFaultEvent& e : fault_.TakeLinkEventsUpTo(now)) {
+    Status s = sim_.SetLinkFaultFactor(e.link, e.factor);
+    BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
+    if (e.factor > 0.0) {
+      continue;  // Degradations and recoveries just change capacity; the
+                 // allocator throttles (or refills) crossing flows in place.
+    }
+    // Hard down: every transfer crossing the link dies now. Centralized
+    // transfers are cancelled-and-credited so fully-arrived blocks survive;
+    // their remaining blocks return to pending and the next cycle re-plans
+    // them over surviving paths. Fallback downloads requeue immediately.
+    std::vector<int64_t> doomed;
+    for (const auto& [tag, t] : transfers_) {
+      const Flow* flow = sim_.FindFlow(t.flow);
+      if (flow == nullptr) {
+        continue;
+      }
+      if (std::find(flow->links.begin(), flow->links.end(), e.link) != flow->links.end()) {
+        doomed.push_back(tag);
+      }
+    }
+    std::sort(doomed.begin(), doomed.end());  // Map order is incidental.
+    for (int64_t tag : doomed) {
+      CancelAndCredit(tag);
+    }
+    fault_.mutable_stats().flows_killed +=
+        static_cast<int64_t>(doomed.size()) + fallback_.HandleLinkFault(e.link);
+  }
+}
+
+void BdsController::CollectAgentReports() {
+  if (view_ == nullptr) {
+    return;
+  }
+  // Deterministic draw order: agents report in DC order. A lost report keeps
+  // its DC's deliveries buffered, so the view keeps scheduling against the
+  // last state that DC successfully reported.
+  std::vector<DcId> dcs;
+  dcs.reserve(unreported_.size());
+  for (const auto& [dc, pending] : unreported_) {
+    if (!pending.empty()) {
+      dcs.push_back(dc);
+    }
+  }
+  std::sort(dcs.begin(), dcs.end());
+  for (DcId dc : dcs) {
+    if (fault_.DrawReportLost(dc)) {
+      continue;
+    }
+    std::vector<PendingReport>& pending = unreported_[dc];
+    for (const PendingReport& r : pending) {
+      (void)view_->NoteDelivery(r.job, r.block, r.src, r.dst);
+    }
+    pending.clear();
+  }
+}
+
+void BdsController::MirrorDelivery(JobId job, int64_t block, ServerId src, ServerId dst) {
+  if (view_ == nullptr) {
+    return;
+  }
+  unreported_[topo_->server(dst).dc].push_back(PendingReport{job, block, src, dst});
+}
+
 void BdsController::CancelAndCredit(int64_t tag) {
   auto it = transfers_.find(tag);
   if (it == transfers_.end()) {
@@ -153,22 +362,31 @@ void BdsController::CancelAndCredit(int64_t tag) {
           ? static_cast<int64_t>(delivered_bytes / per_block + kFluidEpsilon)
           : 0;
   full_blocks = std::min(full_blocks, static_cast<int64_t>(t.assignment.blocks.size()));
+  int64_t before = state_.total_credited();
   for (size_t i = 0; i < t.assignment.blocks.size(); ++i) {
     int64_t b = t.assignment.blocks[i];
     in_flight_.erase(DeliveryKey{t.assignment.job, b, t.dest_dc});
     if (static_cast<int64_t>(i) < full_blocks) {
       // Blocks are streamed in order within a merged transfer; the first
-      // `full_blocks` have fully arrived.
+      // `full_blocks` have fully arrived — each is checksum-verified before
+      // it is credited.
+      if (fault_.DrawBlockCorrupted()) {
+        continue;  // Not credited; stays pending and is rescheduled.
+      }
       (void)state_.NoteDelivery(t.assignment.job, b, t.assignment.src_server,
                                 t.assignment.dst_server);
+      MirrorDelivery(t.assignment.job, b, t.assignment.src_server, t.assignment.dst_server);
     }
   }
-  if (full_blocks > 0) {
+  if (state_.total_credited() > before) {
     RecordDelivery(t.assignment.job, t.assignment.dst_server, sim_.now());
   }
 }
 
 SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
+  // Flush agent status reports (some may be lost, leaving the view stale).
+  CollectAgentReports();
+
   // Decision refresh: re-plan transfers that will not finish in a
   // reasonable number of cycles at their current rate.
   const double horizon = options_.restall_cycles * options_.algorithm.cycle_length;
@@ -197,7 +415,10 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
       (void)sim_.SetBackgroundRate(l, online[static_cast<size_t>(l)]);
     }
   }
-  std::vector<Rate> residual = separator_.ResidualCapacities(online);
+  // Residual capacities honour injected link faults: a degraded or dead
+  // link's usable capacity shrinks by its fault factor before the safety
+  // threshold applies, so the LP routes around it.
+  std::vector<Rate> residual = separator_.ResidualCapacities(online, sim_.link_fault_factors());
   // Non-blocking update: in-flight transfers keep their bandwidth, but only
   // for the fraction of the coming cycle they will still be running (agents
   // report per-flow progress, so the controller knows the remaining time).
@@ -219,8 +440,12 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     }
   }
 
-  // (4): the decision algorithm.
-  CycleDecision decision = algorithm_.Decide(stats.cycle, state_, residual, in_flight_);
+  // (4): the decision algorithm — runs on the controller's possibly-stale
+  // view when report loss is enabled. A stale view only ever has MORE
+  // pending deliveries than ground truth (reports lag, submissions do not),
+  // so the worst case is a redundant transfer that NoteDelivery ignores.
+  const ReplicaState& sched_state = view_ != nullptr ? *view_ : state_;
+  CycleDecision decision = algorithm_.Decide(stats.cycle, sched_state, residual, in_flight_);
   stats.scheduled_blocks = decision.scheduled_blocks;
   stats.merged_subtasks = decision.merged_subtasks;
   stats.scheduling_seconds = decision.scheduling_seconds;
@@ -239,8 +464,26 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
   }
 
-  // (5): push decisions — agents start rate-limited transfers.
+  // (5): push decisions — agents start rate-limited transfers. A dropped
+  // push loses every assignment to that destination agent this cycle (one
+  // draw per agent, consistent across its assignments); the blocks stay
+  // pending and are rescheduled until the agent's retry/backoff escalates
+  // out-of-band (§5.3) and the push is forced through.
+  std::vector<std::pair<ServerId, bool>> push_plan;
+  auto push_dropped = [&](ServerId dst) {
+    for (const auto& [s, drop] : push_plan) {
+      if (s == dst) {
+        return drop;
+      }
+    }
+    bool drop = fault_.DrawPushDropped(dst);
+    push_plan.emplace_back(dst, drop);
+    return drop;
+  };
   for (TransferAssignment& a : decision.transfers) {
+    if (push_dropped(a.dst_server)) {
+      continue;
+    }
     DcId dest_dc = topo_->server(a.dst_server).dc;
     int64_t tag = next_tag_++;
     auto flow = sim_.StartFlow(a.path.links, a.bytes, a.rate, tag, /*tag2=*/0);
@@ -278,12 +521,21 @@ void BdsController::OnFlowComplete(const FlowRecord& record) {
   }
   CtrlTransfer t = std::move(it->second);
   transfers_.erase(it);
+  int64_t before = state_.total_credited();
   for (int64_t b : t.assignment.blocks) {
     in_flight_.erase(DeliveryKey{t.assignment.job, b, t.dest_dc});
+    if (fault_.DrawBlockCorrupted()) {
+      continue;  // Failed checksum verification: stays pending, rescheduled.
+    }
     (void)state_.NoteDelivery(t.assignment.job, b, t.assignment.src_server,
                               t.assignment.dst_server);
+    MirrorDelivery(t.assignment.job, b, t.assignment.src_server, t.assignment.dst_server);
   }
-  RecordDelivery(t.assignment.job, t.assignment.dst_server, sim_.now());
+  // Count the completion only when at least one block was newly credited:
+  // a transfer the stale view scheduled redundantly delivers nothing new.
+  if (state_.total_credited() > before) {
+    RecordDelivery(t.assignment.job, t.assignment.dst_server, sim_.now());
+  }
 }
 
 StatusOr<RunReport> BdsController::Run(SimTime deadline) {
@@ -293,6 +545,13 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
   // Hard stop: generous bound so that a wedged configuration cannot spin.
   const int64_t max_cycles = 10'000'000;
 
+  if (fault_.stale_reports_enabled() && view_ == nullptr) {
+    // Jobs submitted before Run() register inside the loop, so a view
+    // created here sees every job. The view starts identical to ground
+    // truth and lags only in deliveries whose reports were lost.
+    view_ = std::make_unique<ReplicaState>(topo_);
+  }
+
   while (cycle < max_cycles) {
     SimTime now = sim_.now();
     if (now >= deadline - kFluidEpsilon) {
@@ -300,6 +559,7 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
     }
     RegisterArrivals(now);
     ApplyFailures(now);
+    ApplyLinkFaults(now);
 
     CycleStats stats;
     stats.cycle = cycle;
@@ -325,6 +585,10 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
 
     BDS_RETURN_IF_ERROR(sim_.AdvanceBy(std::max(0.0, std::min(dt, deadline - now) - lead)));
     stats.blocks_delivered = deliveries_this_cycle_;
+    if (options_.validate_invariants) {
+      report.max_link_overshoot =
+          std::max(report.max_link_overshoot, sim_.MaxCapacityViolation());
+    }
     report.cycles.push_back(stats);
     ++cycle;
 
@@ -333,10 +597,14 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
       break;
     }
     // Catch wedged runs: nothing pending can ever complete (e.g. every
-    // holder failed). Stop rather than spin to the deadline.
+    // holder failed). Stop rather than spin to the deadline. A pending link
+    // recovery or probabilistic control-plane fault can still unwedge a
+    // quiet cycle, so the detector defers to the deadline while either is
+    // in play.
     if (all_arrived && !state_.AllComplete() && sim_.num_active_flows() == 0 &&
         stats.controller_up && stats.transfers_started == 0 && stats.blocks_delivered == 0 &&
-        next_failure_ >= failures_.size()) {
+        next_failure_ >= failures_.size() && fault_.remaining_link_events() == 0 &&
+        !fault_.control_plane_active()) {
       bool outage_ahead = false;
       for (const Outage& o : outages_) {
         if (o.from > now) {
@@ -351,6 +619,7 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
 
   report.completed = state_.AllComplete() && next_arrival_ >= arriving_jobs_.size();
   report.deliveries = deliveries_;
+  report.faults = fault_.stats();
   report.job_completion = job_completion_;
   report.origin_stats = state_.origin_stats();
   report.control_delays = agent_monitor_.one_way_delays();

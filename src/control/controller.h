@@ -10,6 +10,15 @@
 // Fault tolerance (§5.3): server failures remove the agent's replicas and
 // cancel its flows; when every controller replica is down, agents fall back
 // to the decentralized engine until a master returns.
+//
+// Injected faults (src/fault): the controller drains the FaultInjector's
+// link timeline every cycle (hard-down links kill crossing transfers, which
+// are cancelled-and-credited and re-planned over surviving paths), schedules
+// against a *view* ReplicaState that lags ground truth while agent status
+// reports are lost, drops decision pushes per agent until the agent's
+// retry/escalation forces them through, and verifies a per-block checksum on
+// delivery — corrupted blocks are not credited and re-enter rarest-first.
+// All faults are seeded and deterministic: one seed, one byte-identical run.
 
 #ifndef BDS_SRC_CONTROL_CONTROLLER_H_
 #define BDS_SRC_CONTROL_CONTROLLER_H_
@@ -23,6 +32,7 @@
 #include "src/common/types.h"
 #include "src/control/monitors.h"
 #include "src/control/replication.h"
+#include "src/fault/fault_injector.h"
 #include "src/scheduler/bandwidth_separator.h"
 #include "src/scheduler/controller_algorithm.h"
 #include "src/scheduler/replica_state.h"
@@ -55,6 +65,10 @@ struct ControllerOptions {
   // what makes very short update cycles counter-productive (Fig 12c's knee
   // at ~3 s). Off by default so laptop-scale runs aren't dominated by it.
   bool model_decision_latency = false;
+  // Check hard invariants every cycle (link rates within faulted capacity)
+  // and record the worst violation in the report. Costs O(flows + links) per
+  // cycle, so off by default; the chaos soak turns it on.
+  bool validate_invariants = false;
   uint64_t seed = 1;
 };
 
@@ -83,8 +97,18 @@ struct RunReport {
   std::unordered_map<ServerId, ReplicaState::ServerOriginStats> origin_stats;
   EmpiricalDistribution control_delays;   // One-way messages (Fig 11b).
   EmpiricalDistribution feedback_delays;  // Full loop (Fig 11c).
+  FaultStats faults;                      // Injected-fault counters.
+  // Worst (bulk_rate - usable_capacity) / nominal_capacity observed at any
+  // cycle boundary; <= ~0 means no link ever exceeded its (possibly faulted)
+  // capacity. Only filled with ControllerOptions::validate_invariants.
+  double max_link_overshoot = -1.0;
 
   std::vector<double> ServerCompletionMinutes() const;
+
+  // Order-independent digest of every simulation-determined field (wall-clock
+  // timings excluded). Two runs with the same seed and inputs must produce
+  // equal fingerprints — the determinism guarantee the chaos soak checks.
+  uint64_t Fingerprint() const;
 };
 
 class BdsController {
@@ -96,9 +120,17 @@ class BdsController {
   Status SubmitJob(const MulticastJob& job);
 
   // --- Failure script (applied as simulated time passes). ---
-  void ScheduleServerFailure(ServerId server, SimTime at);
-  void ScheduleServerRecovery(ServerId server, SimTime at);
-  void ScheduleControllerOutage(SimTime from, SimTime to);
+  // Rejects malformed scripts: unknown servers, failing an already-failed
+  // server, recovering a server that was never failed (as of the scheduled
+  // time), and inverted outage windows.
+  Status ScheduleServerFailure(ServerId server, SimTime at);
+  Status ScheduleServerRecovery(ServerId server, SimTime at);
+  Status ScheduleControllerOutage(SimTime from, SimTime to);
+
+  // Injected link / control-plane / data-plane faults; configure before
+  // Run() (see src/fault/fault_injector.h).
+  FaultInjector* mutable_fault_injector() { return &fault_; }
+  const FaultInjector& fault_injector() const { return fault_; }
 
   // Attaches latency-sensitive traffic (not owned).
   void SetBackgroundTraffic(BackgroundTrafficModel* model);
@@ -128,7 +160,20 @@ class BdsController {
 
   void RegisterArrivals(SimTime now);
   void ApplyFailures(SimTime now);
+  // Drains due link-fault events: updates the simulator's capacity factors
+  // and kills transfers crossing hard-down links (cancel-and-credit for
+  // centralized ones, requeue for fallback downloads).
+  void ApplyLinkFaults(SimTime now);
+  // Replays the server failure/recovery script up to `at` to decide whether
+  // a new event for `server` is consistent.
+  Status ValidateFailureEvent(ServerId server, SimTime at, bool recovery) const;
   bool ControllerUp(SimTime now);
+  // Flushes agent status reports into the controller's view state; reports
+  // from DCs whose report was lost this cycle stay buffered (stale view).
+  void CollectAgentReports();
+  // Records a ground-truth delivery for the next status report of the
+  // destination's DC (no-op unless stale reports are enabled).
+  void MirrorDelivery(JobId job, int64_t block, ServerId src, ServerId dst);
   // Returns the simulated time consumed before decisions took effect
   // (> 0 only with model_decision_latency).
   SimTime RunCentralizedCycle(SimTime now, CycleStats& stats);
@@ -144,6 +189,18 @@ class BdsController {
 
   NetworkSimulator sim_;
   ReplicaState state_;
+  FaultInjector fault_;
+  // The controller's possibly-stale view of the replica state, fed by agent
+  // status reports. Ground truth lives in state_; the two coincide (and
+  // view_ stays null) unless report loss is enabled.
+  std::unique_ptr<ReplicaState> view_;
+  struct PendingReport {
+    JobId job;
+    int64_t block;
+    ServerId src;
+    ServerId dst;
+  };
+  std::unordered_map<DcId, std::vector<PendingReport>> unreported_;
   ControllerAlgorithm algorithm_;
   BandwidthSeparator separator_;
   AgentMonitor agent_monitor_;

@@ -34,6 +34,11 @@ struct BdsOptions {
   bool model_decision_latency = false;
   int fallback_visibility = 3;  // Decentralized-fallback source visibility.
 
+  // Check hard invariants (link rates within faulted capacity) every cycle
+  // and record the worst violation in the report. Off by default; the chaos
+  // soak turns it on.
+  bool validate_invariants = false;
+
   uint64_t seed = 1;
 };
 

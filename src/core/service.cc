@@ -19,6 +19,7 @@ ControllerOptions ToControllerOptions(const BdsOptions& options) {
   c.controller_dc = options.controller_dc;
   c.measure_delays = options.measure_delays;
   c.model_decision_latency = options.model_decision_latency;
+  c.validate_invariants = options.validate_invariants;
   c.seed = options.seed;
   c.latency.seed = options.seed ^ 0x17AB;
   return c;
@@ -66,16 +67,27 @@ Status BdsService::SubmitJob(const MulticastJob& job) {
   return s;
 }
 
-void BdsService::InjectServerFailure(ServerId server, SimTime at) {
-  controller_->ScheduleServerFailure(server, at);
+Status BdsService::InjectServerFailure(ServerId server, SimTime at) {
+  return controller_->ScheduleServerFailure(server, at);
 }
 
-void BdsService::InjectServerRecovery(ServerId server, SimTime at) {
-  controller_->ScheduleServerRecovery(server, at);
+Status BdsService::InjectServerRecovery(ServerId server, SimTime at) {
+  return controller_->ScheduleServerRecovery(server, at);
 }
 
-void BdsService::InjectControllerOutage(SimTime from, SimTime to) {
-  controller_->ScheduleControllerOutage(from, to);
+Status BdsService::InjectControllerOutage(SimTime from, SimTime to) {
+  return controller_->ScheduleControllerOutage(from, to);
+}
+
+StatusOr<ChaosPlan> BdsService::InstallChaos(uint64_t seed, const ChaosOptions& options) {
+  auto plan = InstallRandomChaos(topo_, seed, options, controller_->mutable_fault_injector());
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  for (const auto& [from, to] : plan->controller_outages) {
+    BDS_RETURN_IF_ERROR(controller_->ScheduleControllerOutage(from, to));
+  }
+  return plan;
 }
 
 void BdsService::EnableBackgroundTraffic(BackgroundTrafficModel::Options options) {

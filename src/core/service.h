@@ -22,6 +22,7 @@
 #include "src/baselines/strategy.h"
 #include "src/common/status.h"
 #include "src/core/options.h"
+#include "src/fault/chaos.h"
 #include "src/topology/routing.h"
 #include "src/topology/topology.h"
 #include "src/workload/background_traffic.h"
@@ -41,12 +42,20 @@ class BdsService {
   // Submits an externally built job (trace replay).
   Status SubmitJob(const MulticastJob& job);
 
-  // Failure / traffic injection — must be called before Run().
-  void InjectServerFailure(ServerId server, SimTime at);
-  void InjectServerRecovery(ServerId server, SimTime at);
-  void InjectControllerOutage(SimTime from, SimTime to);
+  // Failure / traffic injection — must be called before Run(). Malformed
+  // scripts (unknown server, duplicate failure, recovery of a healthy
+  // server, inverted outage window) are rejected.
+  Status InjectServerFailure(ServerId server, SimTime at);
+  Status InjectServerRecovery(ServerId server, SimTime at);
+  Status InjectControllerOutage(SimTime from, SimTime to);
   // Enables diurnal latency-sensitive traffic on all WAN links.
   void EnableBackgroundTraffic(BackgroundTrafficModel::Options options);
+
+  // Seeded fault injection (src/fault). Configure link / control-plane /
+  // data-plane faults directly on the injector, or install a randomized
+  // combined schedule in one call (the chaos soak's entry point).
+  FaultInjector* mutable_fault_injector() { return controller_->mutable_fault_injector(); }
+  StatusOr<ChaosPlan> InstallChaos(uint64_t seed, const ChaosOptions& options = {});
 
   // Runs everything to completion (or deadline) and reports.
   StatusOr<RunReport> Run(SimTime deadline = kTimeInfinity);

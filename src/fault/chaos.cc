@@ -1,0 +1,95 @@
+#include "src/fault/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/rng.h"
+
+namespace bds {
+
+namespace {
+
+// A window [from, to) fully inside [0, horizon), at least `min_len` long.
+std::pair<SimTime, SimTime> DrawWindow(Rng& rng, SimTime horizon, SimTime min_len) {
+  SimTime from = rng.Uniform(0.0, horizon * 0.7);
+  SimTime len = rng.Uniform(min_len, std::max(min_len * 2.0, horizon * 0.3));
+  SimTime to = std::min(from + len, horizon);
+  if (to - from < min_len) {
+    from = std::max(0.0, to - min_len);
+  }
+  return {from, to};
+}
+
+}  // namespace
+
+StatusOr<ChaosPlan> InstallRandomChaos(const Topology& topo, uint64_t seed,
+                                       const ChaosOptions& options, FaultInjector* injector) {
+  BDS_CHECK(injector != nullptr);
+  if (options.horizon <= 0.0) {
+    return InvalidArgumentError("InstallRandomChaos: horizon must be positive");
+  }
+  std::vector<LinkId> wan;
+  for (const Link& l : topo.links()) {
+    if (l.type == LinkType::kWan) {
+      wan.push_back(l.id);
+    }
+  }
+  if (wan.empty()) {
+    return FailedPreconditionError("InstallRandomChaos: topology has no WAN links");
+  }
+
+  Rng rng(seed ^ 0xC7A05ULL);
+  ChaosPlan plan;
+
+  // Each fault picks its own WAN link; a link may be hit twice — later
+  // events simply override earlier ones, which is the documented timeline
+  // semantics and still deterministic.
+  plan.link_downs = static_cast<int>(rng.UniformInt(0, options.max_link_downs));
+  for (int i = 0; i < plan.link_downs; ++i) {
+    LinkId link = wan[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(wan.size()) - 1))];
+    auto [from, to] = DrawWindow(rng, options.horizon, /*min_len=*/2.0);
+    BDS_RETURN_IF_ERROR(injector->AddLinkDown(topo, link, from, to));
+  }
+
+  plan.link_degradations = static_cast<int>(rng.UniformInt(0, options.max_link_degradations));
+  for (int i = 0; i < plan.link_degradations; ++i) {
+    LinkId link = wan[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(wan.size()) - 1))];
+    auto [from, to] = DrawWindow(rng, options.horizon, /*min_len=*/2.0);
+    double factor = rng.Uniform(0.1, 0.8);
+    BDS_RETURN_IF_ERROR(injector->AddLinkDegradation(topo, link, from, to, factor));
+  }
+
+  plan.link_flaps = static_cast<int>(rng.UniformInt(0, options.max_link_flaps));
+  for (int i = 0; i < plan.link_flaps; ++i) {
+    LinkId link = wan[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(wan.size()) - 1))];
+    auto [from, to] = DrawWindow(rng, options.horizon, /*min_len=*/4.0);
+    SimTime period = rng.Uniform(2.0, 6.0);
+    double duty = rng.Uniform(0.25, 0.75);
+    BDS_RETURN_IF_ERROR(injector->AddLinkFlapping(topo, link, from, to, period, duty));
+  }
+
+  plan.control_plane.report_loss_prob = rng.Uniform(0.0, options.report_loss_prob_max);
+  plan.control_plane.push_drop_prob = rng.Uniform(0.0, options.push_drop_prob_max);
+  BDS_RETURN_IF_ERROR(injector->SetControlPlaneFaults(plan.control_plane));
+
+  plan.data_plane.corruption_prob = rng.Uniform(0.0, options.corruption_prob_max);
+  BDS_RETURN_IF_ERROR(injector->SetDataPlaneFaults(plan.data_plane));
+
+  if (options.include_controller_outage) {
+    auto [from, to] = DrawWindow(rng, options.horizon, /*min_len=*/3.0);
+    plan.controller_outages.emplace_back(from, to);
+  }
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "downs=%d degr=%d flaps=%d outages=%d report_loss=%.2f push_drop=%.2f "
+                "corrupt=%.3f",
+                plan.link_downs, plan.link_degradations, plan.link_flaps,
+                static_cast<int>(plan.controller_outages.size()),
+                plan.control_plane.report_loss_prob, plan.control_plane.push_drop_prob,
+                plan.data_plane.corruption_prob);
+  plan.description = buf;
+  return plan;
+}
+
+}  // namespace bds

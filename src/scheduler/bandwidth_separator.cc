@@ -14,19 +14,26 @@ BandwidthSeparator::BandwidthSeparator(const Topology* topo, Options options)
 
 std::vector<Rate> BandwidthSeparator::ResidualCapacities(
     const std::vector<Rate>& online_rates) const {
+  return ResidualCapacities(online_rates, {});
+}
+
+std::vector<Rate> BandwidthSeparator::ResidualCapacities(
+    const std::vector<Rate>& online_rates, const std::vector<double>& fault_factors) const {
   std::vector<Rate> residual(static_cast<size_t>(topo_->num_links()), 0.0);
   for (LinkId l = 0; l < topo_->num_links(); ++l) {
     const Link& link = topo_->link(l);
-    Rate online =
-        static_cast<size_t>(l) < online_rates.size() ? online_rates[static_cast<size_t>(l)] : 0.0;
+    size_t i = static_cast<size_t>(l);
+    Rate online = i < online_rates.size() ? online_rates[i] : 0.0;
+    double factor = i < fault_factors.size() ? fault_factors[i] : 1.0;
+    Rate usable = link.capacity * factor;
     if (link.type == LinkType::kWan) {
-      Rate budget = link.capacity * options_.safety_threshold - online;
+      Rate budget = usable * options_.safety_threshold - online;
       if (options_.bulk_rate_cap > 0.0) {
         budget = std::min(budget, options_.bulk_rate_cap);
       }
-      residual[static_cast<size_t>(l)] = std::max(0.0, budget);
+      residual[i] = std::max(0.0, budget);
     } else {
-      residual[static_cast<size_t>(l)] = link.capacity;
+      residual[i] = usable;
     }
   }
   return residual;

@@ -35,6 +35,12 @@ class BandwidthSeparator {
   //   max(0, capacity * threshold - online_rate), capped by bulk_rate_cap.
   std::vector<Rate> ResidualCapacities(const std::vector<Rate>& online_rates) const;
 
+  // Same, but with per-link fault factors (0 = down, 1 = healthy; from
+  // NetworkSimulator::link_fault_factors): the safety threshold applies to
+  // the *usable* capacity, so the LP routes around dead and degraded links.
+  std::vector<Rate> ResidualCapacities(const std::vector<Rate>& online_rates,
+                                       const std::vector<double>& fault_factors) const;
+
   const Options& options() const { return options_; }
 
  private:

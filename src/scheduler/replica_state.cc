@@ -101,6 +101,7 @@ Status ReplicaState::AddReplica(JobId job, int64_t block, ServerId server) {
     --info->owed;
     --pending_count_;
     --owed_by_server_[server];
+    ++credited_;
   }
   return Status::Ok();
 }
@@ -110,6 +111,10 @@ Status ReplicaState::NoteDelivery(JobId job, int64_t block, ServerId src_server,
   const JobInfo* info = Find(job);
   if (info == nullptr) {
     return NotFoundError("NoteDelivery: no such job");
+  }
+  if (ServerHasBlock(job, block, dest_server)) {
+    ++redundant_deliveries_;
+    return Status::Ok();
   }
   BDS_RETURN_IF_ERROR(AddReplica(job, block, dest_server));
   ServerOriginStats& stats = origin_stats_[dest_server];

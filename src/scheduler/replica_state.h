@@ -113,11 +113,23 @@ class ReplicaState {
     int64_t total = 0;
   };
   // Marks the delivery of (job, block) to dest_server from src_server, and
-  // updates both the replica map and origin stats.
+  // updates both the replica map and origin stats. A delivery of a block the
+  // destination already holds (possible when the controller schedules from a
+  // stale view) is counted as redundant and changes nothing — a block is
+  // never credited twice.
   Status NoteDelivery(JobId job, int64_t block, ServerId src_server, ServerId dest_server);
   const std::unordered_map<ServerId, ServerOriginStats>& origin_stats() const {
     return origin_stats_;
   }
+
+  // Owed deliveries cleared so far (monotone; a server failure re-owing a
+  // delivered block does not retract past credits). With no server failures
+  // this equals blocks x destination DCs per job when all jobs complete —
+  // the soak test's no-double-credit invariant.
+  int64_t total_credited() const { return credited_; }
+
+  // NoteDelivery calls whose block the destination already held.
+  int64_t redundant_deliveries() const { return redundant_deliveries_; }
 
  private:
   // DC sets are 64-bit masks: BDS deployments span 10-30 DCs (the paper's
@@ -142,6 +154,8 @@ class ReplicaState {
   std::unordered_set<ServerId> failed_servers_;
   std::unordered_map<ServerId, int64_t> owed_by_server_;
   int64_t pending_count_ = 0;
+  int64_t credited_ = 0;
+  int64_t redundant_deliveries_ = 0;
   std::unordered_map<ServerId, ServerOriginStats> origin_stats_;
 };
 

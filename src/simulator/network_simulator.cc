@@ -8,6 +8,7 @@ namespace bds {
 NetworkSimulator::NetworkSimulator(const Topology* topo) : topo_(topo) {
   BDS_CHECK(topo != nullptr);
   background_.assign(static_cast<size_t>(topo->num_links()), 0.0);
+  fault_factor_.assign(static_cast<size_t>(topo->num_links()), 1.0);
   link_bytes_.assign(static_cast<size_t>(topo->num_links()), 0.0);
 }
 
@@ -99,11 +100,63 @@ Rate NetworkSimulator::BackgroundRate(LinkId link) const {
   return background_[static_cast<size_t>(link)];
 }
 
+Status NetworkSimulator::SetLinkFaultFactor(LinkId link, double factor) {
+  if (link < 0 || link >= topo_->num_links()) {
+    return InvalidArgumentError("SetLinkFaultFactor: bad link");
+  }
+  if (factor < 0.0 || factor > 1.0) {
+    return InvalidArgumentError("SetLinkFaultFactor: factor must be in [0, 1]");
+  }
+  fault_factor_[static_cast<size_t>(link)] = factor;
+  rates_dirty_ = true;
+  return Status::Ok();
+}
+
+double NetworkSimulator::LinkFaultFactor(LinkId link) const {
+  BDS_CHECK(link >= 0 && link < topo_->num_links());
+  return fault_factor_[static_cast<size_t>(link)];
+}
+
+std::vector<FlowId> NetworkSimulator::FlowsCrossingLink(LinkId link) const {
+  std::vector<FlowId> out;
+  for (const auto& f : active_) {
+    for (LinkId l : f->links) {
+      if (l == link) {
+        out.push_back(f->id);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());  // active_ order changes with swap-erase.
+  return out;
+}
+
+double NetworkSimulator::MaxCapacityViolation() const {
+  std::vector<Rate> bulk(static_cast<size_t>(topo_->num_links()), 0.0);
+  for (const auto& f : active_) {
+    for (LinkId l : f->links) {
+      bulk[static_cast<size_t>(l)] += f->current_rate;
+    }
+  }
+  double worst = -kTimeInfinity;
+  for (LinkId l = 0; l < topo_->num_links(); ++l) {
+    size_t i = static_cast<size_t>(l);
+    Rate nominal = topo_->link(l).capacity;
+    if (nominal <= 0.0) {
+      continue;
+    }
+    Rate usable = std::max(0.0, nominal * fault_factor_[i] - background_[i]);
+    worst = std::max(worst, (bulk[i] - usable) / nominal);
+  }
+  return worst;
+}
+
 void NetworkSimulator::Reallocate() {
   capacities_scratch_.resize(static_cast<size_t>(topo_->num_links()));
   for (LinkId l = 0; l < topo_->num_links(); ++l) {
     capacities_scratch_[static_cast<size_t>(l)] =
-        std::max(0.0, topo_->link(l).capacity - background_[static_cast<size_t>(l)]);
+        std::max(0.0, topo_->link(l).capacity * fault_factor_[static_cast<size_t>(l)] -
+                          background_[static_cast<size_t>(l)]);
   }
   flow_ptrs_scratch_.clear();
   flow_ptrs_scratch_.reserve(active_.size());

@@ -47,6 +47,24 @@ class NetworkSimulator {
 
   int num_active_flows() const { return static_cast<int>(active_.size()); }
 
+  // --- Link faults (injected churn). ---
+
+  // Sets the usable-capacity factor of `link`: 0 = hard down, 1 = healthy,
+  // in between = degradation. Effective capacity is nominal * factor;
+  // in-flight flows are throttled (or starved to rate 0) at the next
+  // reallocation — callers decide whether to kill them.
+  Status SetLinkFaultFactor(LinkId link, double factor);
+  double LinkFaultFactor(LinkId link) const;
+  const std::vector<double>& link_fault_factors() const { return fault_factor_; }
+
+  // Active flows whose path crosses `link` (for kill-on-hard-down).
+  std::vector<FlowId> FlowsCrossingLink(LinkId link) const;
+
+  // Max over links of bulk_rate - usable_bulk_capacity, normalized by the
+  // link's nominal capacity; <= ~0 whenever the allocator respects every
+  // (possibly faulted) link. Uses the rates of the last reallocation.
+  double MaxCapacityViolation() const;
+
   // --- Background (latency-sensitive) traffic. ---
 
   // Sets the instantaneous rate consumed by latency-sensitive traffic on a
@@ -105,6 +123,7 @@ class NetworkSimulator {
   std::vector<std::unique_ptr<Flow>> active_;
   std::unordered_map<FlowId, size_t> index_;  // id -> position in active_.
   std::vector<Rate> background_;              // Per link.
+  std::vector<double> fault_factor_;          // Per link, 1 = healthy.
   std::vector<Bytes> link_bytes_;             // Per link, cumulative.
   std::vector<Rate> capacities_scratch_;
   std::vector<Flow*> flow_ptrs_scratch_;

@@ -1,0 +1,138 @@
+// Seeded chaos soak: many seeds of combined link, control-plane, and
+// data-plane faults against one workload, asserting the hard invariants the
+// fault subsystem guarantees:
+//
+//   1. Every job completes once all fault windows close (no wedges).
+//   2. No block is double-credited: exactly blocks x destination DCs owed
+//      deliveries are credited, no matter how many redundant or corrupted
+//      transfers the faults caused.
+//   3. Bulk traffic never exceeds a link's (possibly faulted) capacity.
+//   4. The same seed reproduces a byte-identical RunReport (fingerprint).
+//
+// Labelled `chaos` in ctest; run just the soak with `ctest -L chaos`.
+
+#include <gtest/gtest.h>
+
+#include "src/core/service.h"
+#include "src/topology/builders.h"
+
+namespace bds {
+namespace {
+
+constexpr int kSeeds = 24;
+constexpr Bytes kJobBytes = MB(60.0);
+constexpr int64_t kBlocks = 30;   // 60 MB / 2 MB blocks.
+constexpr int64_t kDestDcs = 2;   // Owed deliveries = kBlocks * kDestDcs.
+
+struct SoakOutcome {
+  bool completed = false;
+  int64_t credited = 0;
+  int64_t redundant = 0;
+  double overshoot = 0.0;
+  uint64_t fingerprint = 0;
+  FaultStats faults;
+  std::string chaos;
+};
+
+SoakOutcome RunOneSeed(uint64_t seed) {
+  BdsOptions options;
+  options.cycle_length = 1.0;
+  options.validate_invariants = true;
+  options.seed = seed;
+  Topology topo = BuildFullMesh(3, 2, Gbps(1.0), MBps(50.0), MBps(50.0)).value();
+  auto service = BdsService::Create(std::move(topo), options).value();
+  EXPECT_TRUE(service->CreateJob(0, {1, 2}, kJobBytes).ok());
+  auto plan = service->InstallChaos(seed);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+
+  SoakOutcome out;
+  auto report = service->Run(/*deadline=*/Hours(2.0));
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (!report.ok()) {
+    return out;
+  }
+  out.completed = report->completed;
+  out.credited = service->mutable_controller()->state().total_credited();
+  out.redundant = service->mutable_controller()->state().redundant_deliveries();
+  out.overshoot = report->max_link_overshoot;
+  out.fingerprint = report->Fingerprint();
+  out.faults = report->faults;
+  out.chaos = plan.ok() ? plan->description : "";
+  return out;
+}
+
+TEST(ChaosSoakTest, InvariantsHoldAcrossSeeds) {
+  int64_t total_fault_events = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SoakOutcome out = RunOneSeed(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " chaos: " + out.chaos);
+    // (1) Every fault the generator draws is recoverable, so the run must
+    // finish well before the (generous) deadline.
+    EXPECT_TRUE(out.completed);
+    // (2) Exactly the owed deliveries were credited — redundant transfers
+    // from stale views and corrupted blocks never double-credit.
+    EXPECT_EQ(out.credited, kBlocks * kDestDcs);
+    // (3) Bulk rates never exceeded the faulted capacity of any link.
+    EXPECT_LE(out.overshoot, 1e-4);
+    total_fault_events += out.faults.link_events + out.faults.reports_lost +
+                          out.faults.pushes_dropped + out.faults.blocks_corrupted;
+  }
+  // The soak only means something if the seeds actually injected faults.
+  EXPECT_GT(total_fault_events, kSeeds);
+}
+
+TEST(ChaosSoakTest, SameSeedIsByteIdentical) {
+  for (uint64_t seed : {3ULL, 11ULL, 17ULL}) {
+    SoakOutcome first = RunOneSeed(seed);
+    SoakOutcome second = RunOneSeed(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_EQ(first.fingerprint, second.fingerprint);
+    EXPECT_EQ(first.credited, second.credited);
+    EXPECT_EQ(first.redundant, second.redundant);
+    EXPECT_EQ(first.faults.blocks_corrupted, second.faults.blocks_corrupted);
+    EXPECT_EQ(first.faults.flows_killed, second.faults.flows_killed);
+  }
+}
+
+TEST(ChaosSoakTest, CorruptionAloneOnlyDelaysCompletion) {
+  // Isolate the data plane: heavy corruption, no other faults. The job must
+  // still complete (corrupted blocks re-enter rarest-first) and credit
+  // exactly once per owed delivery.
+  BdsOptions options;
+  options.cycle_length = 1.0;
+  options.seed = 5;
+  Topology topo = BuildFullMesh(3, 2, Gbps(1.0), MBps(50.0), MBps(50.0)).value();
+  auto service = BdsService::Create(std::move(topo), options).value();
+  ASSERT_TRUE(service->CreateJob(0, {1, 2}, kJobBytes).ok());
+  DataPlaneFaultOptions dp;
+  dp.corruption_prob = 0.3;
+  ASSERT_TRUE(service->mutable_fault_injector()->SetDataPlaneFaults(dp).ok());
+  auto report = service->Run(Hours(2.0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->completed);
+  EXPECT_GT(report->faults.blocks_corrupted, 0);
+  EXPECT_EQ(service->mutable_controller()->state().total_credited(), kBlocks * kDestDcs);
+}
+
+TEST(ChaosSoakTest, StaleViewsAloneStillConverge) {
+  // Isolate the control plane: every report and push is a coin flip. The
+  // bounded-staleness escalations guarantee convergence; idempotent
+  // NoteDelivery absorbs whatever redundant transfers the stale view plans.
+  BdsOptions options;
+  options.cycle_length = 1.0;
+  options.seed = 6;
+  Topology topo = BuildFullMesh(3, 2, Gbps(1.0), MBps(50.0), MBps(50.0)).value();
+  auto service = BdsService::Create(std::move(topo), options).value();
+  ASSERT_TRUE(service->CreateJob(0, {1, 2}, kJobBytes).ok());
+  ControlPlaneFaultOptions cp;
+  cp.report_loss_prob = 0.5;
+  cp.push_drop_prob = 0.5;
+  ASSERT_TRUE(service->mutable_fault_injector()->SetControlPlaneFaults(cp).ok());
+  auto report = service->Run(Hours(2.0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->completed);
+  EXPECT_EQ(service->mutable_controller()->state().total_credited(), kBlocks * kDestDcs);
+}
+
+}  // namespace
+}  // namespace bds

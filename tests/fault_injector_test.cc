@@ -1,0 +1,195 @@
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fault/chaos.h"
+#include "src/topology/builders.h"
+
+namespace bds {
+namespace {
+
+Topology MakeTopo() { return BuildFullMesh(3, 2, Gbps(1.0), MBps(20.0), MBps(20.0)).value(); }
+
+LinkId FirstWanLink(const Topology& topo) {
+  for (const Link& l : topo.links()) {
+    if (l.type == LinkType::kWan) {
+      return l.id;
+    }
+  }
+  return kInvalidLink;
+}
+
+TEST(FaultInjectorTest, RejectsMalformedLinkFaults) {
+  Topology topo = MakeTopo();
+  FaultInjector fault(7);
+  LinkId wan = FirstWanLink(topo);
+  EXPECT_FALSE(fault.AddLinkDown(topo, topo.num_links(), 0.0, 1.0).ok());
+  EXPECT_FALSE(fault.AddLinkDown(topo, -1, 0.0, 1.0).ok());
+  EXPECT_FALSE(fault.AddLinkDown(topo, wan, -1.0, 1.0).ok());
+  EXPECT_FALSE(fault.AddLinkDown(topo, wan, 5.0, 5.0).ok());  // Empty window.
+  EXPECT_FALSE(fault.AddLinkDown(topo, wan, 5.0, 2.0).ok());  // Inverted.
+  EXPECT_FALSE(fault.AddLinkDegradation(topo, wan, 0.0, 1.0, 0.0).ok());
+  EXPECT_FALSE(fault.AddLinkDegradation(topo, wan, 0.0, 1.0, 1.0).ok());
+  EXPECT_FALSE(fault.AddLinkFlapping(topo, wan, 0.0, 10.0, /*period=*/0.0).ok());
+  EXPECT_FALSE(fault.AddLinkFlapping(topo, wan, 0.0, 10.0, 2.0, /*duty=*/1.5).ok());
+  EXPECT_TRUE(fault.AddLinkDown(topo, wan, 0.0, 1.0).ok());
+}
+
+TEST(FaultInjectorTest, RejectsMalformedProbabilities) {
+  FaultInjector fault(7);
+  ControlPlaneFaultOptions cp;
+  cp.report_loss_prob = 1.5;
+  EXPECT_FALSE(fault.SetControlPlaneFaults(cp).ok());
+  cp.report_loss_prob = 0.5;
+  cp.report_timeout_cycles = 0;
+  EXPECT_FALSE(fault.SetControlPlaneFaults(cp).ok());
+  cp.report_timeout_cycles = 3;
+  EXPECT_TRUE(fault.SetControlPlaneFaults(cp).ok());
+  DataPlaneFaultOptions dp;
+  dp.corruption_prob = -0.1;
+  EXPECT_FALSE(fault.SetDataPlaneFaults(dp).ok());
+  dp.corruption_prob = 0.1;
+  EXPECT_TRUE(fault.SetDataPlaneFaults(dp).ok());
+}
+
+TEST(FaultInjectorTest, ScheduleFreezesOnceConsumed) {
+  Topology topo = MakeTopo();
+  FaultInjector fault(7);
+  LinkId wan = FirstWanLink(topo);
+  ASSERT_TRUE(fault.AddLinkDown(topo, wan, 0.0, 1.0).ok());
+  (void)fault.TakeLinkEventsUpTo(0.5);
+  EXPECT_FALSE(fault.AddLinkDown(topo, wan, 5.0, 6.0).ok());
+}
+
+TEST(FaultInjectorTest, FlappingExpandsToSquareWave) {
+  Topology topo = MakeTopo();
+  FaultInjector fault(7);
+  LinkId wan = FirstWanLink(topo);
+  ASSERT_TRUE(fault.AddLinkFlapping(topo, wan, 0.0, 10.0, /*period=*/4.0, /*duty=*/0.5).ok());
+  std::vector<LinkFaultEvent> events = fault.TakeLinkEventsUpTo(100.0);
+  ASSERT_GE(events.size(), 4u);
+  // Alternating down/up starting at t=0, each down lasting period*duty = 2 s.
+  EXPECT_DOUBLE_EQ(events.front().at, 0.0);
+  EXPECT_DOUBLE_EQ(events.front().factor, 0.0);
+  EXPECT_DOUBLE_EQ(events[1].at, 2.0);
+  EXPECT_DOUBLE_EQ(events[1].factor, 1.0);
+  // The final event restores the link exactly at the window's end.
+  EXPECT_DOUBLE_EQ(events.back().at, 10.0);
+  EXPECT_DOUBLE_EQ(events.back().factor, 1.0);
+  for (const LinkFaultEvent& e : events) {
+    EXPECT_EQ(e.link, wan);
+  }
+  EXPECT_EQ(fault.remaining_link_events(), 0u);
+}
+
+TEST(FaultInjectorTest, EventsDrainInTimeOrder) {
+  Topology topo = MakeTopo();
+  FaultInjector fault(7);
+  LinkId wan = FirstWanLink(topo);
+  ASSERT_TRUE(fault.AddLinkDown(topo, wan, 5.0, 8.0).ok());
+  ASSERT_TRUE(fault.AddLinkDegradation(topo, wan, 1.0, 3.0, 0.5).ok());
+  auto first = fault.TakeLinkEventsUpTo(4.0);
+  ASSERT_EQ(first.size(), 2u);  // Degradation on at 1, off at 3.
+  EXPECT_DOUBLE_EQ(first[0].at, 1.0);
+  EXPECT_DOUBLE_EQ(first[1].at, 3.0);
+  EXPECT_EQ(fault.remaining_link_events(), 2u);
+  auto rest = fault.TakeLinkEventsUpTo(100.0);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_DOUBLE_EQ(rest[0].at, 5.0);
+  EXPECT_DOUBLE_EQ(rest[0].factor, 0.0);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityDrawsConsumeNoRandomness) {
+  // An injector that answered many zero-probability queries must produce the
+  // same later draw sequence as a fresh one with the same seed: fault-free
+  // runs stay byte-identical to runs on a build without fault hooks.
+  FaultInjector touched(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(touched.DrawReportLost(0));
+    EXPECT_FALSE(touched.DrawPushDropped(i));
+    EXPECT_FALSE(touched.DrawBlockCorrupted());
+  }
+  FaultInjector fresh(42);
+  ControlPlaneFaultOptions cp;
+  cp.report_loss_prob = 0.5;
+  cp.push_drop_prob = 0.5;
+  ASSERT_TRUE(touched.SetControlPlaneFaults(cp).ok());
+  ASSERT_TRUE(fresh.SetControlPlaneFaults(cp).ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(touched.DrawReportLost(1), fresh.DrawReportLost(1)) << i;
+    EXPECT_EQ(touched.DrawPushDropped(3), fresh.DrawPushDropped(3)) << i;
+  }
+}
+
+TEST(FaultInjectorTest, ReportTimeoutBoundsStaleness) {
+  FaultInjector fault(9);
+  ControlPlaneFaultOptions cp;
+  cp.report_loss_prob = 1.0;  // Every report lost...
+  cp.report_timeout_cycles = 3;
+  ASSERT_TRUE(fault.SetControlPlaneFaults(cp).ok());
+  int consecutive = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (fault.DrawReportLost(0)) {
+      ++consecutive;
+      EXPECT_LT(consecutive, cp.report_timeout_cycles);  // ...but never 3 in a row.
+    } else {
+      consecutive = 0;
+    }
+  }
+  EXPECT_GT(fault.stats().reports_forced, 0);
+  EXPECT_GT(fault.stats().reports_lost, 0);
+}
+
+TEST(FaultInjectorTest, PushRetriesEscalateOutOfBand) {
+  FaultInjector fault(9);
+  ControlPlaneFaultOptions cp;
+  cp.push_drop_prob = 1.0;
+  cp.push_retry_cycles = 2;
+  ASSERT_TRUE(fault.SetControlPlaneFaults(cp).ok());
+  // drop, escalate, drop, escalate, ... — no agent waits more than one cycle.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fault.DrawPushDropped(5), i % 2 == 0) << i;
+  }
+  EXPECT_EQ(fault.stats().pushes_dropped, 5);
+  EXPECT_EQ(fault.stats().pushes_escalated, 5);
+}
+
+TEST(ChaosTest, SameSeedSamePlan) {
+  Topology topo = MakeTopo();
+  FaultInjector a(1), b(1);
+  auto plan_a = InstallRandomChaos(topo, /*seed=*/123, ChaosOptions{}, &a);
+  auto plan_b = InstallRandomChaos(topo, /*seed=*/123, ChaosOptions{}, &b);
+  ASSERT_TRUE(plan_a.ok() && plan_b.ok());
+  EXPECT_EQ(plan_a->description, plan_b->description);
+  EXPECT_EQ(plan_a->controller_outages, plan_b->controller_outages);
+  auto events_a = a.TakeLinkEventsUpTo(kTimeInfinity);
+  auto events_b = b.TakeLinkEventsUpTo(kTimeInfinity);
+  ASSERT_EQ(events_a.size(), events_b.size());
+  for (size_t i = 0; i < events_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events_a[i].at, events_b[i].at);
+    EXPECT_EQ(events_a[i].link, events_b[i].link);
+    EXPECT_DOUBLE_EQ(events_a[i].factor, events_b[i].factor);
+  }
+}
+
+TEST(ChaosTest, EveryWindowClosesByHorizon) {
+  Topology topo = MakeTopo();
+  ChaosOptions options;
+  options.horizon = 40.0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FaultInjector fault(seed);
+    ASSERT_TRUE(InstallRandomChaos(topo, seed, options, &fault).ok());
+    auto events = fault.TakeLinkEventsUpTo(kTimeInfinity);
+    std::vector<double> last_factor(static_cast<size_t>(topo.num_links()), 1.0);
+    for (const LinkFaultEvent& e : events) {
+      EXPECT_LE(e.at, options.horizon) << "seed " << seed;
+      last_factor[static_cast<size_t>(e.link)] = e.factor;
+    }
+    for (double f : last_factor) {
+      EXPECT_DOUBLE_EQ(f, 1.0) << "seed " << seed;  // Everything recovers.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bds

@@ -91,5 +91,77 @@ TEST(RecoveryTest, RecoveryDuringFallbackIsPickedUp) {
   EXPECT_TRUE(report->completed);
 }
 
+TEST(RecoveryTest, FailureScriptRejectsMalformedEvents) {
+  auto service = MakeService();
+  ServerId victim = service->topology().ServersIn(1)[0];
+  // Unknown server / negative time.
+  EXPECT_FALSE(service->InjectServerFailure(service->topology().num_servers(), 1.0).ok());
+  EXPECT_FALSE(service->InjectServerFailure(-1, 1.0).ok());
+  EXPECT_FALSE(service->InjectServerFailure(victim, -1.0).ok());
+  // Recovering a server that was never failed.
+  EXPECT_FALSE(service->InjectServerRecovery(victim, 1.0).ok());
+  // Duplicate failure of an already-failed server.
+  ASSERT_TRUE(service->InjectServerFailure(victim, 1.0).ok());
+  EXPECT_FALSE(service->InjectServerFailure(victim, 2.0).ok());
+  // Recovery scheduled before the failure it would undo.
+  EXPECT_FALSE(service->InjectServerRecovery(victim, 0.5).ok());
+  // A consistent fail / recover / fail sequence is accepted.
+  ASSERT_TRUE(service->InjectServerRecovery(victim, 3.0).ok());
+  ASSERT_TRUE(service->InjectServerFailure(victim, 5.0).ok());
+  // Inverted or negative controller outage windows.
+  EXPECT_FALSE(service->InjectControllerOutage(10.0, 10.0).ok());
+  EXPECT_FALSE(service->InjectControllerOutage(10.0, 5.0).ok());
+  EXPECT_FALSE(service->InjectControllerOutage(-1.0, 5.0).ok());
+  EXPECT_TRUE(service->InjectControllerOutage(5.0, 10.0).ok());
+}
+
+TEST(RecoveryTest, ServerFailsDuringControllerOutage) {
+  // The failure lands while agents are on the decentralized fallback: the
+  // engine requeues the victim's blocks, and once the controller returns it
+  // finishes the job over the recovered server.
+  auto service = MakeService();
+  ASSERT_TRUE(service->CreateJob(0, {1, 2}, MB(200.0)).ok());
+  ServerId victim = service->topology().ServersIn(1)[1];
+  ASSERT_TRUE(service->InjectControllerOutage(2.0, 20.0).ok());
+  ASSERT_TRUE(service->InjectServerFailure(victim, 5.0).ok());   // Mid-outage.
+  ASSERT_TRUE(service->InjectServerRecovery(victim, 25.0).ok());  // After handback.
+  auto report = service->Run(Hours(1.0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->completed);
+  EXPECT_EQ(service->mutable_controller()->state().OwedByServer(victim), 0);
+}
+
+TEST(RecoveryTest, HandbackCreditsInFlightFallbackDeliveries) {
+  // Fallback downloads still in flight when the controller returns must
+  // complete and be credited — the handback does not cancel the data plane.
+  auto service = MakeService();
+  ASSERT_TRUE(service->CreateJob(0, {1, 2}, MB(200.0)).ok());
+  ASSERT_TRUE(service->InjectControllerOutage(1.0, 8.0).ok());
+  auto report = service->Run(Hours(1.0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->completed);
+  // Every owed delivery was credited exactly once across the two regimes
+  // (a redundant centralized re-plan of a block the fallback already landed
+  // is absorbed by NoteDelivery, never double-credited).
+  const ReplicaState& state = service->mutable_controller()->state();
+  EXPECT_EQ(state.total_credited(), 100 * 2);  // 200 MB / 2 MB x 2 dest DCs.
+}
+
+TEST(RecoveryTest, FailureAndRecoveryWithinOneCycle) {
+  // Both events land between two controller wake-ups (cycle_length = 1 s):
+  // the controller processes them back-to-back in one ApplyFailures pass.
+  // The blip still re-owes the victim's delivered blocks, and the run must
+  // re-deliver them and complete.
+  auto service = MakeService();
+  ASSERT_TRUE(service->CreateJob(0, {1, 2}, MB(120.0)).ok());
+  ServerId victim = service->topology().ServersIn(2)[0];
+  ASSERT_TRUE(service->InjectServerFailure(victim, 3.10).ok());
+  ASSERT_TRUE(service->InjectServerRecovery(victim, 3.60).ok());
+  auto report = service->Run(Hours(1.0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->completed);
+  EXPECT_EQ(service->mutable_controller()->state().OwedByServer(victim), 0);
+}
+
 }  // namespace
 }  // namespace bds
