@@ -5,11 +5,28 @@
 //        (paper: 90 % below 50 ms, mean ~25 ms);
 //  11c — CDF of the full feedback-loop delay (paper: 80 % below 200 ms).
 //
-// 11a runs under google-benchmark for stable timing.
+// 11a runs under google-benchmark for stable timing. In addition, an
+// optimization-ablation sweep times the controller decision across
+// 10^4..10^6 blocks with each hot-path optimization toggled independently
+// (baseline / incremental FPTAS / path cache / thread pool / all) and can
+// emit the results as machine-readable JSON for the perf-regression check:
+//
+//   bench_fig11_scalability --json=BENCH_controller.json   # full sweep
+//   bench_fig11_scalability --smoke --json=out.json        # reduced scale
+//
+// --smoke keeps only the small block counts and skips the google-benchmark
+// section and the delay CDFs, so it finishes in seconds (used by the
+// `bench-smoke` ctest label).
 
 #include <benchmark/benchmark.h>
 
+#include <time.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/control/monitors.h"
@@ -61,6 +78,177 @@ BENCHMARK(BM_ControllerDecision)
     ->Arg(300'000)
     ->Arg(600'000)
     ->Arg(1'000'000);
+
+// ---------------------------------------------------------------------------
+// Optimization-ablation sweep.
+
+struct SweepConfig {
+  const char* name;
+  bool incremental_fptas;
+  bool path_cache;
+  bool sched_early_exit;
+  int num_threads;
+};
+
+// "baseline" turns every knob off, reproducing the pre-optimization
+// controller; "all" is the shipping default plus the thread pool.
+constexpr SweepConfig kSweepConfigs[] = {
+    {"baseline", false, false, false, 1},
+    {"incremental_fptas", true, false, false, 1},
+    {"path_cache", false, true, false, 1},
+    {"sched_early_exit", false, false, true, 1},
+    {"threads4", false, false, false, 4},
+    {"all", true, true, true, 4},
+};
+
+struct SweepPoint {
+  int64_t blocks = 0;
+  // Wall / process-CPU seconds per Decide(), min over repetitions, keyed
+  // like kSweepConfigs. The regression gate compares the CPU column: the
+  // decision is deterministic, so its CPU time is stable run-to-run, while
+  // wall time on a shared runner swings with whatever else is scheduled.
+  double seconds[std::size(kSweepConfigs)] = {};
+  double cpu_seconds[std::size(kSweepConfigs)] = {};
+};
+
+double ProcessCpuSeconds() {
+  timespec ts;
+  BDS_CHECK(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void TimeDecide(ControllerAlgorithm& algorithm, const ReplicaState& state,
+                const std::vector<Rate>& residual, int reps, uint64_t* fingerprint,
+                double* wall_out, double* cpu_out) {
+  double best_wall = 0.0;
+  double best_cpu = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    double cpu_start = ProcessCpuSeconds();
+    auto start = std::chrono::steady_clock::now();
+    CycleDecision decision = algorithm.Decide(0, state, residual, {});
+    auto stop = std::chrono::steady_clock::now();
+    double cpu = ProcessCpuSeconds() - cpu_start;
+    double seconds = std::chrono::duration<double>(stop - start).count();
+    if (r == 0 || seconds < best_wall) {
+      best_wall = seconds;
+    }
+    if (r == 0 || cpu < best_cpu) {
+      best_cpu = cpu;
+    }
+    *fingerprint = decision.Fingerprint();
+  }
+  *wall_out = best_wall;
+  *cpu_out = best_cpu;
+}
+
+std::vector<SweepPoint> RunConfigSweep(bool smoke) {
+  // Smoke skips the smallest point, not the largest of its pair: the very
+  // first decisions of a fresh process run cold (allocator, page cache) and
+  // their sub-100 ms timings are the noisiest in the sweep.
+  std::vector<int64_t> block_counts =
+      smoke ? std::vector<int64_t>{30'000, 100'000}
+            : std::vector<int64_t>{10'000, 30'000, 100'000, 300'000, 1'000'000};
+  // Min-of-5 in both modes: the regression gate compares min-of-reps
+  // ratios, and fewer reps leaves too much scheduling noise in the min.
+  const int reps = 5;
+
+  GeoTopologyOptions topo_options;
+  topo_options.num_dcs = 10;
+  topo_options.servers_per_dc = 100;
+  topo_options.server_up = MBps(20.0);
+  topo_options.server_down = MBps(20.0);
+  auto topo = BuildGeoTopology(topo_options).value();
+  auto routing = WanRoutingTable::Build(topo, 3).value();
+  std::vector<Rate> residual;
+  residual.reserve(static_cast<size_t>(topo.num_links()));
+  for (const Link& l : topo.links()) {
+    residual.push_back(l.capacity);
+  }
+
+  bench::PrintHeader("Figure 11a (ablation)", "decision time per optimization config",
+                     "same deployment; each hot-path optimization toggled independently "
+                     "(times are min over repetitions; decisions must be bit-identical)");
+  std::printf("%10s", "blocks");
+  for (const SweepConfig& c : kSweepConfigs) {
+    std::printf("  %18s", c.name);
+  }
+  std::printf("  %9s\n", "speedup");
+
+  std::vector<SweepPoint> points;
+  for (int64_t num_blocks : block_counts) {
+    ReplicaState replica_state(&topo);
+    MulticastJob job =
+        MakeJob(0, 0, {1, 2}, MB(2.0) * static_cast<double>(num_blocks), MB(2.0)).value();
+    BDS_CHECK(replica_state.AddJob(job).ok());
+
+    {
+      // One untimed warmup decision per point so the first timed config
+      // doesn't pay the process/point cold-start (page faults, allocator).
+      ControllerAlgorithm warmup(&topo, &routing, ControllerAlgorithmOptions{});
+      CycleDecision d = warmup.Decide(0, replica_state, residual, {});
+      BDS_CHECK(d.scheduled_blocks > 0);
+    }
+
+    SweepPoint point;
+    point.blocks = num_blocks;
+    uint64_t baseline_fp = 0;
+    for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+      const SweepConfig& c = kSweepConfigs[ci];
+      ControllerAlgorithmOptions options;
+      options.use_incremental_fptas = c.incremental_fptas;
+      options.use_path_cache = c.path_cache;
+      options.use_sched_early_exit = c.sched_early_exit;
+      options.num_threads = c.num_threads;
+      ControllerAlgorithm algorithm(&topo, &routing, options);
+      uint64_t fp = 0;
+      TimeDecide(algorithm, replica_state, residual, reps, &fp, &point.seconds[ci],
+                 &point.cpu_seconds[ci]);
+      if (ci == 0) {
+        baseline_fp = fp;
+      } else {
+        BDS_CHECK_MSG(fp == baseline_fp,
+                      "optimization config changed the cycle decision");
+      }
+    }
+    std::printf("%10lld", static_cast<long long>(num_blocks));
+    for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+      std::printf("  %15.1f ms", point.seconds[ci] * 1e3);
+    }
+    std::printf("  %8.2fx\n", point.seconds[0] / point.seconds[std::size(kSweepConfigs) - 1]);
+    points.push_back(point);
+  }
+  return points;
+}
+
+void WriteSweepJson(const std::vector<SweepPoint>& points, bool smoke,
+                    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  BDS_CHECK_MSG(f != nullptr, "cannot open --json output path");
+  std::fprintf(f, "{\n  \"benchmark\": \"controller_decision\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"configs\": [");
+  for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+    std::fprintf(f, "%s\"%s\"", ci == 0 ? "" : ", ", kSweepConfigs[ci].name);
+  }
+  std::fprintf(f, "],\n  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f, "    {\"blocks\": %lld, \"seconds\": {",
+                 static_cast<long long>(points[i].blocks));
+    for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+      std::fprintf(f, "%s\"%s\": %.6f", ci == 0 ? "" : ", ", kSweepConfigs[ci].name,
+                   points[i].seconds[ci]);
+    }
+    std::fprintf(f, "}, \"cpu_seconds\": {");
+    for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+      std::fprintf(f, "%s\"%s\": %.6f", ci == 0 ? "" : ", ", kSweepConfigs[ci].name,
+                   points[i].cpu_seconds[ci]);
+    }
+    std::fprintf(f, "}}%s\n", i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 void PrintDelayCdfs() {
   GeoTopologyOptions topo_options;
@@ -115,11 +303,40 @@ void PrintDelayCdfs() {
 }  // namespace bds
 
 int main(int argc, char** argv) {
-  bds::bench::PrintHeader("Figure 11a", "controller running time vs number of blocks",
-                          "10 DCs x 100 servers, 2 destination DCs per job "
-                          "(paper: <= 300 ms at 3x10^5 blocks, <= 800 ms at 10^6)");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  bds::PrintDelayCdfs();
+  // Strip our own flags before google-benchmark sees argv.
+  bool smoke = false;
+  bool sweep_only = false;
+  std::string json_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      // Full point set, but skip the google-benchmark section and the delay
+      // CDFs. Used when regenerating the regression baseline so it is timed
+      // under the same process conditions as the smoke runs it gates.
+      sweep_only = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  if (!smoke && !sweep_only) {
+    bds::bench::PrintHeader("Figure 11a", "controller running time vs number of blocks",
+                            "10 DCs x 100 servers, 2 destination DCs per job "
+                            "(paper: <= 300 ms at 3x10^5 blocks, <= 800 ms at 10^6)");
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+  }
+  std::vector<bds::SweepPoint> points = bds::RunConfigSweep(smoke);
+  if (!json_path.empty()) {
+    bds::WriteSweepJson(points, smoke, json_path);
+  }
+  if (!smoke && !sweep_only) {
+    bds::PrintDelayCdfs();
+  }
   return 0;
 }

@@ -1,0 +1,111 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace bds {
+
+namespace {
+
+// Slice `worker` of [0, n) split evenly across `threads` workers.
+std::pair<size_t, size_t> Slice(size_t n, int threads, int worker) {
+  size_t t = static_cast<size_t>(threads);
+  size_t w = static_cast<size_t>(worker);
+  return {n * w / t, n * (w + 1) / t};
+}
+
+}  // namespace
+
+namespace {
+int ClampThreads(int num_threads) {
+  // More workers than hardware threads only adds contention — they cannot
+  // run concurrently, and slice outputs are position-addressed so the thread
+  // count never affects results. hardware_concurrency() may report 0.
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) {
+    hw = 1;
+  }
+  return std::max(1, std::min(num_threads, hw));
+}
+}  // namespace
+
+ParallelRunner::ParallelRunner(int num_threads) : num_threads_(ClampThreads(num_threads)) {}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ParallelRunner::EnsureWorkers() {
+  if (!workers_.empty()) {
+    return;
+  }
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+void ParallelRunner::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t, size_t)>* task;
+    size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      task = task_;
+      n = task_n_;
+    }
+    auto [begin, end] = Slice(n, num_threads_, worker);
+    if (begin < end) {
+      (*task)(begin, end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ParallelRunner::For(size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (num_threads_ == 1) {
+    fn(0, n);
+    return;
+  }
+  EnsureWorkers();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BDS_CHECK_MSG(outstanding_ == 0, "ParallelRunner::For is not reentrant");
+    task_ = &fn;
+    task_n_ = n;
+    outstanding_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  auto [begin, end] = Slice(n, num_threads_, 0);
+  if (begin < end) {
+    fn(begin, end);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  task_ = nullptr;
+}
+
+}  // namespace bds

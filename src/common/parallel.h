@@ -1,0 +1,64 @@
+// A small deterministic fork-join worker pool.
+//
+// ParallelRunner::For partitions an index range into one contiguous slice
+// per thread and runs them concurrently. The partition depends only on (n,
+// num_threads), and callers write results into pre-sized per-index slots, so
+// a parallel run produces byte-identical output to a serial one — the
+// determinism contract the controller's thread knob relies on (tests assert
+// equal CycleDecision fingerprints for num_threads == 1 and > 1).
+//
+// With num_threads == 1 no threads are ever created and For() degenerates to
+// a plain function call, keeping the default configuration free of any
+// synchronization cost.
+
+#ifndef BDS_SRC_COMMON_PARALLEL_H_
+#define BDS_SRC_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bds {
+
+class ParallelRunner {
+ public:
+  // Clamped to [1, hardware_concurrency] — oversubscribing a machine only
+  // adds contention, and the slice partition never affects results (callers
+  // write to position-addressed slots). Workers (num_threads - 1 of them;
+  // the calling thread runs the first slice) are spawned lazily on the first
+  // parallel For().
+  explicit ParallelRunner(int num_threads);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  // Runs fn(begin, end) over disjoint slices covering [0, n). fn must only
+  // write to state owned by its slice. Blocks until every slice finished.
+  void For(size_t n, const std::function<void(size_t begin, size_t end)>& fn);
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  void WorkerLoop(int worker);
+  void EnsureWorkers();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t, size_t)>* task_ = nullptr;  // Guarded by mu_.
+  size_t task_n_ = 0;
+  uint64_t generation_ = 0;  // Bumped per For(); workers run once per bump.
+  int outstanding_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_COMMON_PARALLEL_H_

@@ -286,6 +286,10 @@ void BdsController::ApplyLinkFaults(SimTime now) {
   for (const LinkFaultEvent& e : fault_.TakeLinkEventsUpTo(now)) {
     Status s = sim_.SetLinkFaultFactor(e.link, e.factor);
     BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
+    // Conservative: any fault event may change which routes are usable, so
+    // drop the cached overlay-path skeletons. Rebuild is a handful of small
+    // copies per active DC pair — cheap next to re-planning the transfers.
+    algorithm_.InvalidatePathCache();
     if (e.factor > 0.0) {
       continue;  // Degradations and recoveries just change capacity; the
                  // allocator throttles (or refills) crossing flows in place.

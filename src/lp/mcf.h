@@ -56,7 +56,23 @@ McfResult SolveMcfSimplex(const McfInstance& instance, const SimplexOptions& opt
 
 // Garg–Könemann FPTAS: total flow >= (1 - epsilon) * optimum, capacities and
 // demands respected exactly. epsilon in (0, 0.5].
+//
+// The default solver runs Fleischer's phase structure over a flat CSR form
+// with incrementally maintained lower bounds: path links, per-link weight
+// factors, and bottleneck capacities are precomputed once; commodities whose
+// paths share endpoint links (the controller's universal shape) get
+// branch-free unrolled scans and a post-push last-link bound that skips the
+// confirmation rescan; a per-commodity cached minimum retires or skips
+// commodities whole phases at a time. The push sequence — and therefore
+// every per-path flow — is bit-identical to SolveMcfFptasReference (see the
+// parity property tests).
 McfResult SolveMcfFptas(const McfInstance& instance, double epsilon = 0.1);
+
+// The original straightforward Fleischer loop (full rescan of a commodity's
+// path lengths per push, every commodity visited every phase). Retained as
+// the ground truth the incremental solver must match exactly; used by the
+// parity property tests and the bench ablation.
+McfResult SolveMcfFptasReference(const McfInstance& instance, double epsilon = 0.1);
 
 // Validation helper shared by tests: largest relative link-capacity
 // violation of `result` against `instance` (0 = fully feasible).

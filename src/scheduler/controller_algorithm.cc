@@ -24,20 +24,24 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 ControllerAlgorithm::ControllerAlgorithm(const Topology* topo, const WanRoutingTable* routing,
                                          ControllerAlgorithmOptions options)
-    : topo_(topo), routing_(routing), options_(options) {
+    : topo_(topo),
+      routing_(routing),
+      options_(options),
+      path_cache_(topo, routing, options.max_wan_routes),
+      pool_(options.num_threads) {
   BDS_CHECK(topo != nullptr && routing != nullptr);
   BDS_CHECK(options_.cycle_length > 0.0);
   BDS_CHECK(options_.max_wan_routes >= 1);
   BDS_CHECK(options_.budget_fraction > 0.0 && options_.budget_fraction <= 1.0);
+  BDS_CHECK(options_.num_threads >= 1);
 }
 
 std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     const ReplicaState& state, const std::vector<Rate>& residual_capacities,
     const DeliveryKeySet& in_flight) {
-  std::vector<PendingDelivery> pending = state.PendingDeliveries();
-
   if (options_.schedule_all) {
     // Joint formulation: every outstanding delivery goes to the solver.
+    std::vector<PendingDelivery> pending = state.PendingDeliveries();
     std::vector<Selected> all;
     all.reserve(pending.size());
     for (const PendingDelivery& p : pending) {
@@ -67,23 +71,31 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
                ? residual_capacities[static_cast<size_t>(l)]
                : topo_->link(l).capacity;
   };
-  std::unordered_map<ServerId, Bytes> up_budget;
-  std::unordered_map<ServerId, Bytes> down_budget;
+  // Dense per-server budget arrays (lazily filled): the selection loop reads
+  // budgets on every pop and for every holder, and hash-map lookups there
+  // dominated the loop at the 10^5-block scale.
+  const size_t num_servers = static_cast<size_t>(topo_->num_servers());
+  std::vector<Bytes> up_budget(num_servers, 0.0);
+  std::vector<Bytes> down_budget(num_servers, 0.0);
+  std::vector<uint8_t> up_init(num_servers, 0);
+  std::vector<uint8_t> down_init(num_servers, 0);
   auto up_left = [&](ServerId s) -> Bytes& {
-    auto [it, inserted] = up_budget.try_emplace(s);
-    if (inserted) {
-      it->second =
+    size_t i = static_cast<size_t>(s);
+    if (!up_init[i]) {
+      up_init[i] = 1;
+      up_budget[i] =
           link_residual(topo_->server(s).uplink) * options_.cycle_length * options_.budget_fraction;
     }
-    return it->second;
+    return up_budget[i];
   };
   auto down_left = [&](ServerId s) -> Bytes& {
-    auto [it, inserted] = down_budget.try_emplace(s);
-    if (inserted) {
-      it->second = link_residual(topo_->server(s).downlink) * options_.cycle_length *
-                   options_.budget_fraction;
+    size_t i = static_cast<size_t>(s);
+    if (!down_init[i]) {
+      down_init[i] = 1;
+      down_budget[i] = link_residual(topo_->server(s).downlink) * options_.cycle_length *
+                       options_.budget_fraction;
     }
-    return it->second;
+    return down_budget[i];
   };
 
   // Generalized rarest-first with *speculative* duplicate counting (the
@@ -92,10 +104,19 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
   // spreads distinct blocks across destinations first and replicates the
   // same block to all m destinations only when budget remains. The extra
   // copies materialize next cycle as new overlay sources.
+  // A candidate is 24 bytes: no PendingDelivery vector is materialized at
+  // all. `key` packs the delivery's coordinates (job position, block,
+  // dest-DC position) into bit fields that strictly increase in
+  // PendingDeliveries() order, so ordering by (eff_dup, salt, key) compares
+  // every pair exactly as the pre-optimization (eff_dup, salt,
+  // pending_index) order did — same pop sequence, same decision — while the
+  // popped delivery's remaining fields (dest server, duplicate count) are
+  // recomputed on demand for the few thousand candidates that actually get
+  // popped, instead of for the possible millions that never leave the queue.
   struct Candidate {
     int eff_dup;
     uint64_t salt;  // Deterministic pseudo-random tie-break.
-    size_t index;   // Into `pending`.
+    uint64_t key;   // Packed (job_pos, block, dc_pos); pending order.
     bool operator>(const Candidate& o) const {
       if (eff_dup != o.eff_dup) {
         return eff_dup > o.eff_dup;
@@ -103,91 +124,204 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
       if (salt != o.salt) {
         return salt > o.salt;
       }
-      return index > o.index;
+      return key > o.key;
     }
   };
+  constexpr uint64_t kBlockMask = (uint64_t{1} << 42) - 1;
+  auto pack_key = [](size_t jp, int64_t block, size_t dp) {
+    return (static_cast<uint64_t>(jp) << 48) | (static_cast<uint64_t>(block) << 6) |
+           static_cast<uint64_t>(dp);
+  };
+  BDS_CHECK_MSG(state.job_ids().size() < (size_t{1} << 16),
+                "ScheduleBlocks: too many concurrent jobs for packed keys");
+  std::vector<const MulticastJob*> jobs_by_pos;
+  jobs_by_pos.reserve(state.job_ids().size());
+  for (JobId id : state.job_ids()) {
+    const MulticastJob* job = state.FindJob(id);
+    BDS_CHECK_MSG(job->num_blocks() <= static_cast<int64_t>(kBlockMask),
+                  "ScheduleBlocks: job too large for packed keys");
+    jobs_by_pos.push_back(job);  // dest_dcs fit 6 bits: at most 64 DCs total.
+  }
   std::unordered_map<uint64_t, int> extra_dups;  // (job, block) -> copies scheduled now.
   auto block_key = [](JobId job, int64_t block) {
     return static_cast<uint64_t>(job) * 0x1000003 + static_cast<uint64_t>(block);
   };
   // The tie-break salt spreads equally-rare candidates across destination
-  // DCs and blocks; ordering by pending index instead would aim every
+  // DCs and blocks; ordering by pending position instead would aim every
   // first copy at the lowest-numbered DC and leave the others' downlinks
   // idle for the whole cycle.
-  auto candidate_salt = [&](const PendingDelivery& p) {
-    uint64_t h = block_key(p.job, p.block) * 0x9E3779B97F4A7C15ULL +
-                 static_cast<uint64_t>(p.dc) * 0xC2B2AE3D27D4EB4FULL;
+  auto candidate_salt = [&](JobId job, int64_t block, DcId dc) {
+    uint64_t h = block_key(job, block) * 0x9E3779B97F4A7C15ULL +
+                 static_cast<uint64_t>(dc) * 0xC2B2AE3D27D4EB4FULL;
     h ^= h >> 29;
     h *= 0xBF58476D1CE4E5B9ULL;
     h ^= h >> 32;
     return h;
   };
+  const SchedulingPolicy policy = options_.policy;
+  // The candidate build touches every pending delivery (up to 10^6 at the
+  // Fig 11a scale). The streaming pass emits packed keys and duplicate
+  // counts in discovery order; the salt hashes — the arithmetic bulk — are
+  // either fused into the same pass (serial) or filled in by the pool over
+  // pre-sized slots (thread-count-invariant). Both orders of operations
+  // produce the identical array. kSequential's salt is the key itself:
+  // packed coordinates sort exactly like pending indices.
+  const bool parallel_salt =
+      pool_.num_threads() > 1 && policy != SchedulingPolicy::kSequential;
   std::vector<Candidate> initial;
-  initial.reserve(pending.size());
-  for (size_t i = 0; i < pending.size(); ++i) {
-    switch (options_.policy) {
-      case SchedulingPolicy::kRarestFirst:
-        initial.push_back(Candidate{pending[i].duplicates, candidate_salt(pending[i]), i});
-        break;
-      case SchedulingPolicy::kRandom:
-        // Ignore duplicates entirely: order is the pseudo-random salt.
-        initial.push_back(Candidate{0, candidate_salt(pending[i]), i});
-        break;
-      case SchedulingPolicy::kSequential:
-        // Naive order: pending index (job, block, dc).
-        initial.push_back(Candidate{0, static_cast<uint64_t>(i), i});
-        break;
-    }
+  initial.reserve(static_cast<size_t>(state.num_pending()));
+  state.ForEachOwed(
+      [&](size_t jp, const MulticastJob& job, int64_t block, size_t dp, DcId dc, int dups) {
+        const uint64_t key = pack_key(jp, block, dp);
+        uint64_t salt = key;
+        if (policy != SchedulingPolicy::kSequential) {
+          salt = parallel_salt ? 0 : candidate_salt(job.id, block, dc);
+        }
+        initial.push_back(
+            Candidate{policy == SchedulingPolicy::kRarestFirst ? dups : 0, salt, key});
+      });
+  if (parallel_salt) {
+    pool_.For(initial.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const uint64_t key = initial[i].key;
+        const MulticastJob* job = jobs_by_pos[key >> 48];
+        initial[i].salt =
+            candidate_salt(job->id, static_cast<int64_t>((key >> 6) & kBlockMask),
+                           job->dest_dcs[key & 63]);
+      }
+    });
   }
-  // O(P) heapify — at 10^6 outstanding blocks per-push heap building alone
-  // would blow the paper's sub-second budget (Fig 11a).
-  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>> heap(
-      std::greater<Candidate>{}, std::move(initial));
+
+  // Candidate queue. Pops always extract the global minimum of the remaining
+  // candidates under the strict total order (eff_dup, salt, index) — indices
+  // are unique, so the order has no ties and any correct implementation pops
+  // the identical sequence. Two implementations:
+  //  * heap: O(P) heapify up front (never per-push insertion — at 10^6
+  //    outstanding blocks that alone would blow Fig 11a's budget);
+  //  * chunked (with the early-exit knob): nth_element carves the kChunk
+  //    smallest candidates out of the unsorted tail and sorts just those;
+  //    stale re-pushes go to a small side heap merged at pop time. Every
+  //    tail element is >= every carved element, so min(run front, side top)
+  //    is the global minimum. The early exit keeps the pop count in the
+  //    thousands, so one carve usually suffices and the heapify pass over
+  //    millions of entries disappears.
+  const bool chunked = options_.use_sched_early_exit;
+  constexpr size_t kChunk = 16384;
+  auto cand_less = [](const Candidate& a, const Candidate& b) { return b > a; };
+  std::vector<Candidate> cands;
+  size_t run_pos = 0, run_end = 0, tail = 0;  // Sorted [run_pos, run_end), raw [tail, size).
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>> side;
+  if (chunked) {
+    cands = std::move(initial);
+  } else {
+    side = std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>>(
+        std::greater<Candidate>{}, std::move(initial));
+  }
+  auto queue_empty = [&] {
+    return side.empty() && (!chunked || (run_pos == run_end && tail >= cands.size()));
+  };
+  auto queue_pop = [&]() -> Candidate {
+    if (chunked) {
+      if (run_pos == run_end && tail < cands.size()) {
+        const size_t k = std::min(kChunk, cands.size() - tail);
+        auto begin = cands.begin() + static_cast<ptrdiff_t>(tail);
+        std::nth_element(begin, begin + static_cast<ptrdiff_t>(k) - 1, cands.end(), cand_less);
+        std::sort(begin, begin + static_cast<ptrdiff_t>(k), cand_less);
+        run_pos = tail;
+        run_end = tail + k;
+        tail = run_end;
+      }
+      if (run_pos < run_end && (side.empty() || side.top() > cands[run_pos])) {
+        return cands[run_pos++];
+      }
+    }
+    Candidate c = side.top();
+    side.pop();
+    return c;
+  };
+  auto queue_push = [&](const Candidate& c) { side.push(c); };
 
   // Early-exit bookkeeping: once every owed destination server's download
-  // budget is saturated, or selection stops making progress, the remaining
-  // (possibly millions of) candidates cannot be scheduled this cycle.
+  // budget is saturated, every possible source server's upload budget is
+  // spent, or selection stops making progress, the remaining (possibly
+  // millions of) candidates cannot be scheduled this cycle. The source-side
+  // exit is exact, not heuristic: budgets only ever decrease within a cycle,
+  // every transfer source is by definition a holder of some block, and
+  // `holder_universe` counts exactly the servers holding any block — so once
+  // that many distinct servers have been seen with an empty upload budget,
+  // every future pop would fail its source scan, and breaking cannot change
+  // the decision. Without this exit the loop pays the full failure_patience
+  // tail (tens of thousands of pops) every time budgets run out before
+  // candidates do, which is the common case at the Fig 11a scale.
   const int64_t owed_servers = state.NumOwedServers();
+  const int64_t holder_universe = state.NumHolderServers();
   std::unordered_set<ServerId> saturated_dests;
+  std::vector<uint8_t> src_exhausted(num_servers, 0);
+  int64_t num_src_exhausted = 0;
+  auto note_src_exhausted = [&](ServerId s) {
+    uint8_t& seen = src_exhausted[static_cast<size_t>(s)];
+    if (!seen) {
+      seen = 1;
+      ++num_src_exhausted;
+    }
+  };
   int64_t failures_since_success = 0;
   const int64_t failure_patience =
       64 * static_cast<int64_t>(topo_->num_servers()) + 4096;
 
   std::vector<Selected> selected;
-  while (!heap.empty()) {
+  while (!queue_empty()) {
     if (options_.max_deliveries_per_cycle > 0 &&
         static_cast<int64_t>(selected.size()) >= options_.max_deliveries_per_cycle) {
       break;
     }
     if (static_cast<int64_t>(saturated_dests.size()) >= owed_servers ||
+        (options_.use_sched_early_exit && num_src_exhausted >= holder_universe) ||
         failures_since_success > failure_patience) {
       break;
     }
-    Candidate c = heap.top();
-    heap.pop();
-    const PendingDelivery& p = pending[c.index];
+    Candidate c = queue_pop();
+    // Unpack the delivery's coordinates; dest server and duplicate count are
+    // recomputed here, for popped candidates only (AssignedServer is a pure
+    // function of the coordinates, and holder sets don't change mid-cycle).
+    const MulticastJob* job = jobs_by_pos[c.key >> 48];
+    PendingDelivery p;
+    p.job = job->id;
+    p.block = static_cast<int64_t>((c.key >> 6) & kBlockMask);
+    p.dc = job->dest_dcs[c.key & 63];
+    p.dest_server = state.AssignedServer(p.job, p.block, p.dc);
+    p.duplicates = state.DuplicateCount(p.job, p.block);
+    // One hash per candidate: the same (job, block) key drives the staleness
+    // check, the holder-offset salt, and the speculative duplicate credit.
+    // Read-only lookup here — most candidates are popped once and rejected,
+    // and inserting a zero entry for each of them (up to 10^6) would turn
+    // the map into the selection loop's dominant cost.
+    const uint64_t bkey = block_key(p.job, p.block);
+    const auto dups_it = extra_dups.find(bkey);
+    const int dups = dups_it != extra_dups.end() ? dups_it->second : 0;
     if (options_.policy == SchedulingPolicy::kRarestFirst) {
-      int now_dup = p.duplicates + extra_dups[block_key(p.job, p.block)];
+      int now_dup = p.duplicates + dups;
       if (now_dup > c.eff_dup) {
         c.eff_dup = now_dup;  // Stale: re-queue with the updated key.
-        heap.push(c);
+        queue_push(c);
         continue;
       }
     }
-    if (in_flight.count(DeliveryKey{p.job, p.block, p.dc}) != 0) {
+    if (!in_flight.empty() && in_flight.count(DeliveryKey{p.job, p.block, p.dc}) != 0) {
       continue;
     }
     if (p.dest_server == kInvalidServer || state.ServerFailed(p.dest_server)) {
       continue;  // No live agent can receive this delivery right now.
     }
-    const MulticastJob* job = state.FindJob(p.job);
-    BDS_CHECK(job != nullptr);
     Bytes bytes = job->BlockSizeOf(p.block);
 
     // A block larger than a whole cycle budget may still be scheduled (it
     // simply spans cycles as an in-flight transfer), so the budget check is
     // "budget not yet exhausted", and charging may drive it negative.
-    if (down_left(p.dest_server) <= 0.0) {
+    // References into the budget maps stay valid across later inserts, so
+    // the charge below reuses this lookup instead of hashing again.
+    Bytes& dest_down_left = down_left(p.dest_server);
+    if (dest_down_left <= 0.0) {
       saturated_dests.insert(p.dest_server);
       ++failures_since_success;
       continue;  // Destination NIC budget exhausted this cycle.
@@ -200,10 +334,10 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     // (§2.3 Limitation 1).
     const std::vector<ServerId>& holders = state.Holders(p.job, p.block);
     ServerId best_src = kInvalidServer;
+    Bytes* best_left = nullptr;
     Bytes best_budget = 0.0;
     if (!holders.empty()) {
-      uint64_t salt = block_key(p.job, p.block) * 0x9E3779B97F4A7C15ULL +
-                      static_cast<uint64_t>(p.dc) * 0x85EBCA6B;
+      uint64_t salt = bkey * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(p.dc) * 0x85EBCA6B;
       size_t offset = static_cast<size_t>(salt % holders.size());
       DcId dest_dc = topo_->server(p.dest_server).dc;
       for (size_t i = 0; i < holders.size(); ++i) {
@@ -215,10 +349,13 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
         if (src_dc != dest_dc && !routing_->Reachable(src_dc, dest_dc)) {
           continue;  // No WAN route from this holder to the destination.
         }
-        Bytes left = up_left(h);
+        Bytes& left = up_left(h);
         if (left > 0.0 && left > best_budget * (1.0 + 1e-9)) {
           best_budget = left;
           best_src = h;
+          best_left = &left;
+        } else if (left <= 0.0) {
+          note_src_exhausted(h);
         }
       }
     }
@@ -228,9 +365,12 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     }
 
     failures_since_success = 0;
-    up_left(best_src) -= bytes;
-    down_left(p.dest_server) -= bytes;
-    ++extra_dups[block_key(p.job, p.block)];
+    *best_left -= bytes;
+    if (*best_left <= 0.0) {
+      note_src_exhausted(best_src);
+    }
+    dest_down_left -= bytes;
+    ++extra_dups[bkey];  // Insert-on-accept keeps the map at O(selected).
     selected.push_back(Selected{p, bytes, best_src});
   }
   return selected;
@@ -274,90 +414,139 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
     }
   }
   decision.merged_subtasks = static_cast<int64_t>(subtasks.size());
+  const size_t num_subtasks = subtasks.size();
 
   // Build the path-based MCF: one commodity per subtask; demand is the rate
-  // that finishes the subtask within the cycle.
-  McfInstance instance;
-  instance.capacities = residual_capacities;
+  // that finishes the subtask within the cycle. The instance and the path
+  // buffers are members reused across cycles — per-cycle allocation churn on
+  // thousands of small vectors is measurable at the Fig 11a scale.
+  McfInstance& instance = mcf_instance_;
+  instance.capacities.assign(residual_capacities.begin(), residual_capacities.end());
   instance.capacities.resize(static_cast<size_t>(topo_->num_links()),
                              0.0);  // Defensive: full length.
-  std::vector<std::vector<ServerPath>> subtask_paths(subtasks.size());
-  for (size_t i = 0; i < subtasks.size(); ++i) {
-    const Subtask& st = subtasks[i];
-    McfCommodity commodity;
-    commodity.demand = st.bytes / options_.cycle_length;
-    std::vector<ServerPath> paths = EnumerateServerPaths(*topo_, *routing_, st.src, st.dst);
-    if (static_cast<int>(paths.size()) > options_.max_wan_routes) {
-      paths.resize(static_cast<size_t>(options_.max_wan_routes));
+  instance.commodities.resize(num_subtasks);
+  subtask_paths_.resize(num_subtasks);
+
+  if (options_.use_path_cache) {
+    // Serial pre-pass so the parallel materialization below only performs
+    // read-only cache lookups.
+    for (const Subtask& st : subtasks) {
+      path_cache_.EnsurePair(topo_->server(st.src).dc, topo_->server(st.dst).dc);
     }
-    for (const ServerPath& p : paths) {
-      McfPath mp;
-      mp.links.reserve(p.links.size());
-      for (LinkId l : p.links) {
-        mp.links.push_back(static_cast<int>(l));
-      }
-      commodity.paths.push_back(std::move(mp));
-    }
-    subtask_paths[i] = std::move(paths);
-    instance.commodities.push_back(std::move(commodity));
   }
 
+  // Per-subtask path materialization and commodity build: independent work
+  // writing to pre-sized slots.
+  pool_.For(num_subtasks, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Subtask& st = subtasks[i];
+      std::vector<ServerPath>& paths = subtask_paths_[i];
+      if (options_.use_path_cache) {
+        path_cache_.MaterializePaths(st.src, st.dst, &paths);
+      } else {
+        paths = EnumerateServerPaths(*topo_, *routing_, st.src, st.dst);
+        if (static_cast<int>(paths.size()) > options_.max_wan_routes) {
+          paths.resize(static_cast<size_t>(options_.max_wan_routes));
+        }
+      }
+      McfCommodity& commodity = instance.commodities[i];
+      commodity.demand = st.bytes / options_.cycle_length;
+      commodity.paths.resize(paths.size());
+      for (size_t p = 0; p < paths.size(); ++p) {
+        std::vector<int>& links = commodity.paths[p].links;
+        links.clear();
+        links.reserve(paths[p].links.size());
+        for (LinkId l : paths[p].links) {
+          links.push_back(static_cast<int>(l));
+        }
+      }
+    }
+  });
+
   McfResult flows = options_.use_exact_lp ? SolveMcfSimplex(instance)
-                                          : SolveMcfFptas(instance, options_.fptas_epsilon);
+                    : options_.use_incremental_fptas
+                        ? SolveMcfFptas(instance, options_.fptas_epsilon)
+                        : SolveMcfFptasReference(instance, options_.fptas_epsilon);
   if (!flows.ok) {
     return;  // No routing possible this cycle (e.g. LP hit iteration limit).
   }
 
   // Turn per-path flows into transfer assignments. Blocks are atomic, so a
   // subtask's blocks are split across its paths proportionally to the
-  // allocated rates.
-  for (size_t i = 0; i < subtasks.size(); ++i) {
-    const Subtask& st = subtasks[i];
-    const std::vector<ServerPath>& paths = subtask_paths[i];
-    const std::vector<double>& path_flow = flows.flow[i];
-    double total = 0.0;
-    for (double f : path_flow) {
-      total += f;
-    }
-    if (total <= kFluidEpsilon || paths.empty()) {
-      continue;  // Nothing allocated; the delivery stays pending.
-    }
-    int64_t num_blocks = static_cast<int64_t>(st.blocks.size());
-    // Provisional block counts per path, largest-rate path absorbs rounding.
-    size_t largest = 0;
-    std::vector<int64_t> counts(paths.size(), 0);
-    int64_t assigned = 0;
-    for (size_t p = 0; p < paths.size(); ++p) {
-      if (path_flow[p] > path_flow[largest]) {
-        largest = p;
+  // allocated rates. Each subtask's transfers are built independently, then
+  // appended in subtask order so the output is thread-count-invariant.
+  std::vector<std::vector<TransferAssignment>> per_subtask(num_subtasks);
+  pool_.For(num_subtasks, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Subtask& st = subtasks[i];
+      const std::vector<ServerPath>& paths = subtask_paths_[i];
+      const std::vector<double>& path_flow = flows.flow[i];
+      if (paths.empty()) {
+        continue;  // Nothing allocated; the delivery stays pending.
       }
-      counts[p] = static_cast<int64_t>(static_cast<double>(num_blocks) * path_flow[p] / total);
-      assigned += counts[p];
-    }
-    counts[largest] += num_blocks - assigned;
-
-    int64_t cursor = 0;
-    double bytes_per_block = st.bytes / static_cast<double>(num_blocks);
-    for (size_t p = 0; p < paths.size(); ++p) {
-      if (counts[p] <= 0 || path_flow[p] <= kFluidEpsilon) {
-        // Re-credit blocks that landed on a zero-rate path to the largest.
-        if (counts[p] > 0 && p != largest) {
-          counts[largest] += counts[p];
+      int64_t num_blocks = static_cast<int64_t>(st.blocks.size());
+      std::vector<int64_t> counts = SplitBlocksAcrossPaths(num_blocks, path_flow);
+      int64_t cursor = 0;
+      double bytes_per_block = st.bytes / static_cast<double>(num_blocks);
+      for (size_t p = 0; p < paths.size(); ++p) {
+        if (counts[p] <= 0) {
+          continue;
         }
-        continue;
+        TransferAssignment t;
+        t.job = st.job;
+        t.blocks.assign(st.blocks.begin() + cursor, st.blocks.begin() + cursor + counts[p]);
+        cursor += counts[p];
+        t.bytes = bytes_per_block * static_cast<double>(counts[p]);
+        t.src_server = st.src;
+        t.dst_server = st.dst;
+        t.path = paths[p];
+        t.rate = path_flow[p];
+        per_subtask[i].push_back(std::move(t));
       }
-      TransferAssignment t;
-      t.job = st.job;
-      t.blocks.assign(st.blocks.begin() + cursor, st.blocks.begin() + cursor + counts[p]);
-      cursor += counts[p];
-      t.bytes = bytes_per_block * static_cast<double>(counts[p]);
-      t.src_server = st.src;
-      t.dst_server = st.dst;
-      t.path = paths[p];
-      t.rate = path_flow[p];
+    }
+  });
+  for (std::vector<TransferAssignment>& transfers : per_subtask) {
+    for (TransferAssignment& t : transfers) {
       decision.transfers.push_back(std::move(t));
     }
   }
+}
+
+std::vector<int64_t> SplitBlocksAcrossPaths(int64_t num_blocks,
+                                            const std::vector<double>& path_flow) {
+  std::vector<int64_t> counts(path_flow.size(), 0);
+  if (num_blocks <= 0 || path_flow.empty()) {
+    return counts;
+  }
+  double total = 0.0;
+  size_t largest = 0;
+  for (size_t p = 0; p < path_flow.size(); ++p) {
+    total += path_flow[p];
+    if (path_flow[p] > path_flow[largest]) {
+      largest = p;
+    }
+  }
+  if (total <= kFluidEpsilon || path_flow[largest] <= kFluidEpsilon) {
+    return counts;  // No path carries a meaningful rate.
+  }
+  // Provisional floor allocation; the largest-rate path absorbs rounding.
+  int64_t assigned = 0;
+  for (size_t p = 0; p < path_flow.size(); ++p) {
+    counts[p] = static_cast<int64_t>(static_cast<double>(num_blocks) * path_flow[p] / total);
+    assigned += counts[p];
+  }
+  counts[largest] += num_blocks - assigned;
+  // Re-credit pass: blocks floored onto a zero-rate path would never move,
+  // so hand them to the largest-rate path BEFORE any transfer is emitted.
+  // (Re-crediting during emission silently dropped them whenever the
+  // zero-rate path followed the largest in iteration order.)
+  for (size_t p = 0; p < path_flow.size(); ++p) {
+    if (p != largest && counts[p] > 0 && path_flow[p] <= kFluidEpsilon) {
+      counts[largest] += counts[p];
+      counts[p] = 0;
+    }
+  }
+  return counts;
 }
 
 CycleDecision ControllerAlgorithm::Decide(int64_t cycle, const ReplicaState& state,

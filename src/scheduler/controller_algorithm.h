@@ -15,12 +15,16 @@
 #ifndef BDS_SRC_SCHEDULER_CONTROLLER_ALGORITHM_H_
 #define BDS_SRC_SCHEDULER_CONTROLLER_ALGORITHM_H_
 
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/parallel.h"
 #include "src/common/types.h"
+#include "src/lp/mcf.h"
 #include "src/scheduler/decision.h"
 #include "src/scheduler/replica_state.h"
+#include "src/topology/path_cache.h"
 #include "src/topology/routing.h"
 #include "src/topology/topology.h"
 
@@ -82,6 +86,21 @@ struct ControllerAlgorithmOptions {
   double budget_fraction = 0.9;
   // Optional hard cap on deliveries scheduled per cycle; 0 = capacity-driven.
   int64_t max_deliveries_per_cycle = 0;
+  // Hot-path optimization knobs. All default on; the off positions exist
+  // for the Fig 11a ablation bench and the parity tests — every combination
+  // produces bit-identical decisions.
+  bool use_incremental_fptas = true;  // false: SolveMcfFptasReference.
+  bool use_path_cache = true;         // false: EnumerateServerPaths per subtask.
+  // false: keep popping candidates until the failure-patience heuristic
+  // trips, as the pre-optimization selection loop did. The early exit fires
+  // once every possible source's upload budget is provably spent, which
+  // cannot change the selected set (budgets only decrease within a cycle).
+  bool use_sched_early_exit = true;
+  // Worker threads for the per-subtask and per-candidate passes. 1 (the
+  // default) runs everything on the calling thread; higher values fan the
+  // independent work out over a small pool. Decisions are byte-identical
+  // for every value (deterministic static partitioning, per-slot writes).
+  int num_threads = 1;
 };
 
 class ControllerAlgorithm {
@@ -95,6 +114,11 @@ class ControllerAlgorithm {
   CycleDecision Decide(int64_t cycle, const ReplicaState& state,
                        const std::vector<Rate>& residual_capacities,
                        const DeliveryKeySet& in_flight);
+
+  // Drops the cached overlay-path skeletons. Call when the routing table's
+  // route sets may have changed (rebuild, link fault); capacity-only changes
+  // never require it.
+  void InvalidatePathCache() { path_cache_.Invalidate(); }
 
   const ControllerAlgorithmOptions& options() const { return options_; }
 
@@ -117,7 +141,23 @@ class ControllerAlgorithm {
   const Topology* topo_;
   const WanRoutingTable* routing_;
   ControllerAlgorithmOptions options_;
+  ServerPathCache path_cache_;
+  ParallelRunner pool_;
+
+  // Per-cycle scratch reused across Decide() calls so the routing step stops
+  // re-allocating its MCF instance and path buffers every cycle.
+  McfInstance mcf_instance_;
+  std::vector<std::vector<ServerPath>> subtask_paths_;
 };
+
+// Splits `num_blocks` atomic blocks across a subtask's paths proportionally
+// to the allocated `path_flow` rates: floor allocation per path, remainder —
+// and anything a zero-rate path would have received — credited to the
+// highest-rate path. Returns one count per path summing to num_blocks, or
+// all zeros when no path carries meaningful rate. Exposed for unit tests;
+// RouteBlocks uses it per subtask.
+std::vector<int64_t> SplitBlocksAcrossPaths(int64_t num_blocks,
+                                            const std::vector<double>& path_flow);
 
 }  // namespace bds
 

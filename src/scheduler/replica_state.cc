@@ -59,6 +59,7 @@ Status ReplicaState::AddJob(const MulticastJob& job) {
     if (failed_servers_.count(holder) == 0) {
       block.holders.push_back(holder);
       block.dc_present |= uint64_t{1} << job.source_dc;
+      ++held_by_server_[holder];
     }
     for (DcId d : job.dest_dcs) {
       block.dc_owed |= uint64_t{1} << d;
@@ -91,6 +92,7 @@ Status ReplicaState::AddReplica(JobId job, int64_t block, ServerId server) {
     return Status::Ok();  // Idempotent.
   }
   bi.holders.push_back(server);
+  ++held_by_server_[server];
   DcId dc = topo_->server(server).dc;
   bi.dc_present |= uint64_t{1} << dc;
   // The owed delivery for this DC clears only when the *assigned* server
@@ -128,6 +130,7 @@ Status ReplicaState::NoteDelivery(JobId job, int64_t block, ServerId src_server,
 
 void ReplicaState::RemoveServer(ServerId server) {
   failed_servers_.insert(server);
+  held_by_server_.erase(server);  // Loses every replica below.
   DcId dc = (server >= 0 && server < topo_->num_servers()) ? topo_->server(server).dc
                                                            : kInvalidDc;
   for (auto& [id, info] : jobs_) {
@@ -241,23 +244,15 @@ std::vector<ServerId> ReplicaState::AllDestinationServers() const {
 std::vector<PendingDelivery> ReplicaState::PendingDeliveries() const {
   std::vector<PendingDelivery> out;
   out.reserve(static_cast<size_t>(pending_count_));
-  for (JobId id : job_ids_) {
-    const JobInfo* info = Find(id);
-    for (int64_t b = 0; b < static_cast<int64_t>(info->blocks.size()); ++b) {
-      const BlockInfo& bi = info->blocks[static_cast<size_t>(b)];
-      for (DcId d : info->job.dest_dcs) {
-        if ((bi.dc_owed & (uint64_t{1} << d)) != 0) {
-          PendingDelivery p;
-          p.job = id;
-          p.block = b;
-          p.dc = d;
-          p.dest_server = AssignedServer(id, b, d);
-          p.duplicates = static_cast<int>(bi.holders.size());
-          out.push_back(p);
-        }
-      }
-    }
-  }
+  ForEachOwed([&](size_t, const MulticastJob& job, int64_t b, size_t, DcId d, int dups) {
+    PendingDelivery p;
+    p.job = job.id;
+    p.block = b;
+    p.dc = d;
+    p.dest_server = AssignedServer(job.id, b, d);
+    p.duplicates = dups;
+    out.push_back(p);
+  });
   return out;
 }
 

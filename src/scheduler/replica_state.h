@@ -85,6 +85,34 @@ class ReplicaState {
   std::vector<PendingDelivery> PendingDeliveries() const;
   int64_t num_pending() const { return pending_count_; }
 
+  // Streams every owed delivery in exactly PendingDeliveries() order without
+  // materializing the vector — at 10^6 outstanding blocks the copy alone is
+  // tens of megabytes. `fn` receives the delivery by coordinates:
+  //   fn(job_pos, job, block, dc_pos, dc, duplicates)
+  // where job_pos indexes job_ids() and dc_pos indexes job.dest_dcs. The
+  // coordinate triple (job_pos, block, dc_pos) is lexicographically
+  // increasing across calls, so it doubles as a compact order-preserving
+  // stand-in for the pending index; everything PendingDeliveries() reports
+  // (dest_server, duplicates) is recomputable from it on demand.
+  template <typename Fn>
+  void ForEachOwed(Fn&& fn) const {
+    for (size_t jp = 0; jp < job_ids_.size(); ++jp) {
+      const JobInfo& info = jobs_.find(job_ids_[jp])->second;
+      const std::vector<DcId>& dests = info.job.dest_dcs;
+      for (int64_t b = 0; b < static_cast<int64_t>(info.blocks.size()); ++b) {
+        const BlockInfo& bi = info.blocks[static_cast<size_t>(b)];
+        if (bi.dc_owed == 0) {
+          continue;
+        }
+        for (size_t dp = 0; dp < dests.size(); ++dp) {
+          if ((bi.dc_owed & (uint64_t{1} << dests[dp])) != 0) {
+            fn(jp, info.job, b, dp, dests[dp], static_cast<int>(bi.holders.size()));
+          }
+        }
+      }
+    }
+  }
+
   bool JobComplete(JobId job) const;
   bool AllComplete() const { return pending_count_ == 0; }
 
@@ -94,6 +122,11 @@ class ReplicaState {
 
   // Number of destination servers still owed at least one block.
   int64_t NumOwedServers() const;
+
+  // Number of distinct live servers holding at least one block of any job —
+  // the universe of possible transfer sources. The scheduler uses it to stop
+  // selection as soon as every possible source's upload budget is spent.
+  int64_t NumHolderServers() const { return static_cast<int64_t>(held_by_server_.size()); }
 
   // Whether `server` was removed by RemoveServer (agent failure). Failed
   // servers never hold blocks and cannot receive deliveries.
@@ -153,6 +186,7 @@ class ReplicaState {
   std::vector<JobId> job_ids_;
   std::unordered_set<ServerId> failed_servers_;
   std::unordered_map<ServerId, int64_t> owed_by_server_;
+  std::unordered_map<ServerId, int64_t> held_by_server_;  // #(job, block) held.
   int64_t pending_count_ = 0;
   int64_t credited_ = 0;
   int64_t redundant_deliveries_ = 0;

@@ -1,0 +1,71 @@
+#include "src/topology/path_cache.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace bds {
+
+ServerPathCache::ServerPathCache(const Topology* topo, const WanRoutingTable* routing,
+                                 int max_routes)
+    : topo_(topo), routing_(routing), max_routes_(max_routes) {
+  BDS_CHECK(topo != nullptr && routing != nullptr);
+  BDS_CHECK(max_routes >= 1);
+  entries_.resize(static_cast<size_t>(topo->num_dcs()) * static_cast<size_t>(topo->num_dcs()));
+}
+
+void ServerPathCache::EnsurePair(DcId src_dc, DcId dst_dc) {
+  DcPairEntry& entry = entries_[PairIndex(src_dc, dst_dc)];
+  if (entry.built) {
+    return;
+  }
+  entry.wan_links.clear();
+  entry.route_index.clear();
+  if (src_dc == dst_dc) {
+    entry.wan_links.emplace_back();  // NIC-only path.
+    entry.route_index.push_back(-1);
+  } else {
+    const std::vector<WanRoute>& routes = routing_->Routes(src_dc, dst_dc);
+    size_t n = std::min(routes.size(), static_cast<size_t>(max_routes_));
+    for (size_t r = 0; r < n; ++r) {
+      entry.wan_links.push_back(routes[r].links);
+      entry.route_index.push_back(static_cast<int>(r));
+    }
+  }
+  entry.built = true;
+  ++misses_;
+}
+
+void ServerPathCache::MaterializePaths(ServerId src, ServerId dst,
+                                       std::vector<ServerPath>* out) const {
+  if (src == dst) {
+    out->clear();
+    return;
+  }
+  const Server& s = topo_->server(src);
+  const Server& d = topo_->server(dst);
+  const DcPairEntry& entry = entries_[PairIndex(s.dc, d.dc)];
+  BDS_CHECK_MSG(entry.built, "ServerPathCache: EnsurePair not called for this DC pair");
+  out->resize(entry.wan_links.size());
+  for (size_t r = 0; r < entry.wan_links.size(); ++r) {
+    ServerPath& path = (*out)[r];
+    path.src = src;
+    path.dst = dst;
+    path.wan_route_index = entry.route_index[r];
+    const std::vector<LinkId>& wan = entry.wan_links[r];
+    path.links.clear();
+    path.links.reserve(wan.size() + 2);
+    path.links.push_back(s.uplink);
+    path.links.insert(path.links.end(), wan.begin(), wan.end());
+    path.links.push_back(d.downlink);
+  }
+}
+
+void ServerPathCache::Invalidate() {
+  for (DcPairEntry& entry : entries_) {
+    entry.built = false;
+  }
+  ++generation_;
+}
+
+}  // namespace bds

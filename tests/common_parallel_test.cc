@@ -1,0 +1,80 @@
+#include "src/common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace bds {
+namespace {
+
+TEST(ParallelRunnerTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    ParallelRunner pool(threads);
+    for (size_t n : {0u, 1u, 2u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) {
+        h = 0;
+      }
+      pool.For(n, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          ++hits[i];
+        }
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i], 1) << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, SlotWritesMatchSerialExactly) {
+  // The determinism contract: per-slot output is independent of the thread
+  // count because slices are position-addressed.
+  auto compute = [](int threads) {
+    ParallelRunner pool(threads);
+    std::vector<double> out(513, 0.0);
+    pool.For(out.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<double>(i) * 1.5 + 0.25;
+      }
+    });
+    return out;
+  };
+  std::vector<double> serial = compute(1);
+  EXPECT_EQ(compute(4), serial);
+  EXPECT_EQ(compute(7), serial);
+}
+
+TEST(ParallelRunnerTest, ClampsToAtLeastOneThread) {
+  ParallelRunner pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  ParallelRunner neg(-3);
+  EXPECT_GE(neg.num_threads(), 1);
+  int sum = 0;
+  neg.For(10, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      sum += static_cast<int>(i);
+    }
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelRunnerTest, ReusableAcrossCalls) {
+  ParallelRunner pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> total{0};
+    pool.For(100, [&](size_t begin, size_t end) {
+      int64_t local = 0;
+      for (size_t i = begin; i < end; ++i) {
+        local += static_cast<int64_t>(i);
+      }
+      total += local;
+    });
+    ASSERT_EQ(total, 4950) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace bds

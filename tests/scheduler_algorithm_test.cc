@@ -163,6 +163,134 @@ TEST(ControllerAlgorithmTest, ZeroResidualMeansNoTransfers) {
   EXPECT_TRUE(dz.transfers.empty());
 }
 
+// A workload big enough that scheduling hits budget limits and routing has
+// multi-path commodities — the regime where the optimization knobs actually
+// take different code paths.
+Fixture BigFixture() {
+  Fixture f(/*blocks=*/200, /*servers=*/3, /*dcs=*/4);
+  // Scatter a few replicas so duplicate counts (and thus rarest-first
+  // ordering) are non-uniform.
+  for (int64_t b = 0; b < 40; b += 7) {
+    BDS_CHECK(f.state.AddReplica(1, b, f.state.AssignedServer(1, b, 1)).ok());
+  }
+  return f;
+}
+
+uint64_t DecideFingerprint(Fixture& f, const ControllerAlgorithmOptions& opt) {
+  ControllerAlgorithm algo(&f.topo, &f.routing, opt);
+  CycleDecision d = algo.Decide(0, f.state, f.residual, {});
+  BDS_CHECK(d.scheduled_blocks > 0);  // A trivial decision proves nothing.
+  return d.Fingerprint();
+}
+
+TEST(ControllerAlgorithmTest, ThreadCountDoesNotChangeFingerprint) {
+  Fixture f = BigFixture();
+  ControllerAlgorithmOptions opt = DefaultOptions();
+  opt.num_threads = 1;
+  uint64_t serial = DecideFingerprint(f, opt);
+  for (int threads : {2, 4, 8}) {
+    opt.num_threads = threads;
+    EXPECT_EQ(DecideFingerprint(f, opt), serial) << threads << " threads";
+  }
+}
+
+TEST(ControllerAlgorithmTest, OptimizationKnobsDoNotChangeFingerprint) {
+  Fixture f = BigFixture();
+  ControllerAlgorithmOptions opt = DefaultOptions();
+  opt.use_incremental_fptas = false;
+  opt.use_path_cache = false;
+  opt.use_sched_early_exit = false;
+  uint64_t baseline = DecideFingerprint(f, opt);
+  // Each knob alone, then all together (threaded) — every combination the
+  // ablation bench exercises must agree with the unoptimized build.
+  for (int mask = 1; mask < 8; ++mask) {
+    opt.use_incremental_fptas = (mask & 1) != 0;
+    opt.use_path_cache = (mask & 2) != 0;
+    opt.use_sched_early_exit = (mask & 4) != 0;
+    opt.num_threads = (mask == 7) ? 4 : 1;
+    EXPECT_EQ(DecideFingerprint(f, opt), baseline) << "knob mask " << mask;
+  }
+}
+
+TEST(ControllerAlgorithmTest, KnobParityHoldsForEveryPolicy) {
+  for (SchedulingPolicy policy :
+       {SchedulingPolicy::kRarestFirst, SchedulingPolicy::kRandom, SchedulingPolicy::kSequential}) {
+    Fixture f = BigFixture();
+    ControllerAlgorithmOptions opt = DefaultOptions();
+    opt.policy = policy;
+    opt.use_incremental_fptas = false;
+    opt.use_path_cache = false;
+    opt.use_sched_early_exit = false;
+    uint64_t baseline = DecideFingerprint(f, opt);
+    opt.use_incremental_fptas = true;
+    opt.use_path_cache = true;
+    opt.use_sched_early_exit = true;
+    opt.num_threads = 4;
+    EXPECT_EQ(DecideFingerprint(f, opt), baseline)
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(ControllerAlgorithmTest, PathCacheSurvivesInvalidation) {
+  Fixture f = BigFixture();
+  ControllerAlgorithm algo(&f.topo, &f.routing, DefaultOptions());
+  CycleDecision before = algo.Decide(0, f.state, f.residual, {});
+  algo.InvalidatePathCache();
+  CycleDecision after = algo.Decide(0, f.state, f.residual, {});
+  EXPECT_EQ(before.Fingerprint(), after.Fingerprint());
+}
+
+TEST(SplitBlocksAcrossPathsTest, ProportionalWithRemainderToLargest) {
+  // 10 blocks over rates 3:1 -> floor gives 7 and 2, remainder to the
+  // highest-rate path.
+  auto split = SplitBlocksAcrossPaths(10, {3.0, 1.0});
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0] + split[1], 10);
+  EXPECT_EQ(split[0], 8);
+  EXPECT_EQ(split[1], 2);
+}
+
+TEST(SplitBlocksAcrossPathsTest, SinglePathTakesEverything) {
+  auto split = SplitBlocksAcrossPaths(5, {2.5});
+  ASSERT_EQ(split.size(), 1u);
+  EXPECT_EQ(split[0], 5);
+}
+
+TEST(SplitBlocksAcrossPathsTest, ZeroRatePathsGetNothing) {
+  // The re-crediting fix: blocks a dead path would have received must land on
+  // the best path, not vanish.
+  auto split = SplitBlocksAcrossPaths(9, {0.0, 4.0, 0.0});
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split[0], 0);
+  EXPECT_EQ(split[1], 9);
+  EXPECT_EQ(split[2], 0);
+}
+
+TEST(SplitBlocksAcrossPathsTest, AllZeroRatesMeansNoBlocks) {
+  auto split = SplitBlocksAcrossPaths(4, {0.0, 0.0});
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0], 0);
+  EXPECT_EQ(split[1], 0);
+}
+
+TEST(SplitBlocksAcrossPathsTest, ConservesTotalAcrossRandomShapes) {
+  // Conservation property: counts always sum to num_blocks whenever any path
+  // has meaningful rate, regardless of the rate mix.
+  const std::vector<std::vector<double>> rate_sets = {
+      {1.0, 1.0, 1.0}, {5.0, 0.25, 0.25}, {1e-12, 2.0}, {0.7, 0.2, 0.1, 0.0}};
+  for (const auto& rates : rate_sets) {
+    for (int64_t n : {1, 2, 7, 100}) {
+      auto split = SplitBlocksAcrossPaths(n, rates);
+      int64_t total = 0;
+      for (int64_t c : split) {
+        EXPECT_GE(c, 0);
+        total += c;
+      }
+      EXPECT_EQ(total, n) << "n=" << n;
+    }
+  }
+}
+
 TEST(BandwidthSeparatorTest, ThresholdAppliedToWanOnly) {
   Topology topo = BuildFullMesh(2, 1, Gbps(10.0), MBps(20.0), MBps(20.0)).value();
   BandwidthSeparator::Options opt;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/topology/builders.h"
 
 namespace bds {
@@ -208,6 +210,88 @@ TEST(ReplicaStateTest, QueriesOnUnknownJobAreSafe) {
   EXPECT_EQ(state.FindJob(99), nullptr);
   EXPECT_FALSE(state.AddReplica(99, 0, 0).ok());
   EXPECT_FALSE(state.JobComplete(99));
+}
+
+TEST(ReplicaStateTest, NumHolderServersTracksDistinctHolders) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  EXPECT_EQ(state.NumHolderServers(), 0);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  // 4 blocks shard across the 2 source servers; count distinct ones.
+  std::set<ServerId> sources;
+  for (int64_t b = 0; b < f.job.num_blocks(); ++b) {
+    sources.insert(
+        f.topo.ServersIn(0)[ShardIndex(7, b, 0, f.topo.ServersIn(0).size())]);
+  }
+  EXPECT_EQ(state.NumHolderServers(), static_cast<int64_t>(sources.size()));
+
+  // A replica landing on a new server grows the universe; a second block on
+  // the same server does not.
+  ServerId d1 = state.AssignedServer(7, 0, 1);
+  ASSERT_TRUE(state.AddReplica(7, 0, d1).ok());
+  int64_t after_first = state.NumHolderServers();
+  EXPECT_EQ(after_first, static_cast<int64_t>(sources.size()) + (sources.count(d1) ? 0 : 1));
+  ASSERT_TRUE(state.AddReplica(7, 1, d1).ok());
+  EXPECT_EQ(state.NumHolderServers(), after_first);
+}
+
+TEST(ReplicaStateTest, NumHolderServersDropsOnServerFailure) {
+  Fixture f;
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  ServerId d1 = state.AssignedServer(7, 0, 1);
+  ASSERT_TRUE(state.AddReplica(7, 0, d1).ok());
+  int64_t before = state.NumHolderServers();
+  state.RemoveServer(d1);
+  EXPECT_EQ(state.NumHolderServers(), before - 1);
+  // Restoring brings the server back empty: still not a holder.
+  state.RestoreServer(d1);
+  EXPECT_EQ(state.NumHolderServers(), before - 1);
+}
+
+TEST(ReplicaStateTest, ForEachOwedMatchesPendingDeliveries) {
+  Fixture f(/*blocks=*/6);
+  ReplicaState state(&f.topo);
+  ASSERT_TRUE(state.AddJob(f.job).ok());
+  MulticastJob job2 = MakeJob(8, 1, {0, 2}, MB(2.0) * 3.0, MB(2.0)).value();
+  ASSERT_TRUE(state.AddJob(job2).ok());
+  // Clear a few deliveries so the streams must skip them identically.
+  ASSERT_TRUE(state.AddReplica(7, 0, state.AssignedServer(7, 0, 1)).ok());
+  ASSERT_TRUE(state.AddReplica(7, 3, state.AssignedServer(7, 3, 2)).ok());
+  ASSERT_TRUE(state.AddReplica(8, 1, state.AssignedServer(8, 1, 0)).ok());
+
+  std::vector<PendingDelivery> streamed;
+  uint64_t last_coord = 0;
+  bool first = true;
+  state.ForEachOwed([&](size_t jp, const MulticastJob& job, int64_t b, size_t dp, DcId d,
+                        int dups) {
+    PendingDelivery p;
+    p.job = job.id;
+    p.block = b;
+    p.dc = d;
+    p.dest_server = state.AssignedServer(job.id, b, d);
+    p.duplicates = dups;
+    streamed.push_back(p);
+    // Coordinates must be lexicographically increasing — the scheduler's
+    // packed candidate keys rely on it.
+    uint64_t coord = (static_cast<uint64_t>(jp) << 48) |
+                     (static_cast<uint64_t>(b) << 6) | static_cast<uint64_t>(dp);
+    EXPECT_TRUE(first || coord > last_coord);
+    first = false;
+    last_coord = coord;
+    EXPECT_EQ(job.dest_dcs[dp], d);
+  });
+
+  auto pending = state.PendingDeliveries();
+  ASSERT_EQ(streamed.size(), pending.size());
+  ASSERT_EQ(streamed.size(), static_cast<size_t>(state.num_pending()));
+  for (size_t i = 0; i < pending.size(); ++i) {
+    EXPECT_EQ(streamed[i].job, pending[i].job) << i;
+    EXPECT_EQ(streamed[i].block, pending[i].block) << i;
+    EXPECT_EQ(streamed[i].dc, pending[i].dc) << i;
+    EXPECT_EQ(streamed[i].dest_server, pending[i].dest_server) << i;
+    EXPECT_EQ(streamed[i].duplicates, pending[i].duplicates) << i;
+  }
 }
 
 TEST(ReplicaStateTest, LastPartialBlockSized) {

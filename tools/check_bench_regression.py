@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the controller decision benchmark.
+
+Compares a fresh run of ``bench_fig11_scalability`` against the committed
+baseline (``BENCH_controller.json`` at the repo root) and fails when an
+optimization config regressed by more than the threshold (25% by default).
+
+The comparison is *config-relative*, not absolute: for every (point, config)
+the metric is ``seconds[config] / seconds["baseline"]`` within the same JSON
+file — how much faster than the knobs-off build that config is. Absolute
+wall-clock differs run to run with machine load (we observe ±25% on shared
+runners), but the within-run ratio between two configs timed back-to-back in
+the same process is stable. A real regression — an optimization losing its
+edge — shows up as the fresh ratio exceeding the committed ratio.
+
+Usage:
+  check_bench_regression.py --bench ./bench_fig11_scalability \
+      --baseline BENCH_controller.json            # run --smoke, then compare
+  check_bench_regression.py --fresh out.json --baseline BENCH_controller.json
+  check_bench_regression.py --bench ... --baseline ... --update
+      # rewrite the baseline from a fresh *full* sweep instead of comparing
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_THRESHOLD = 0.25
+# The knobs-off reference config every other config is normalized by.
+REFERENCE_CONFIG = "baseline"
+# Only gate (point, config) pairs whose committed relative time shows the
+# optimization had a *strong* edge there (e.g. the all-knobs config and the
+# incremental FPTAS, at ~0.4-0.6x of the reference). A config near 1.0x of
+# the reference (the path cache alone at 10^4 blocks, the thread pool on a
+# 1-core runner) has nothing to regress and its ratio is dominated by
+# measurement noise — gating it produces flaky failures, not signal. For the
+# strong-edge configs a real regression (the optimization breaking or losing
+# its edge) moves the ratio toward 1.0 — a +70-150% jump, far beyond both
+# noise and the threshold.
+EDGE_CUTOFF = 0.7
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("benchmark") != "controller_decision":
+        raise SystemExit(f"{path}: not a controller_decision benchmark file")
+    return data
+
+
+def relative_times(data, key):
+    """{(blocks, config): t[config] / t[REFERENCE_CONFIG]} for time field `key`."""
+    out = {}
+    for point in data["points"]:
+        seconds = point[key]
+        ref = seconds.get(REFERENCE_CONFIG)
+        if not ref or ref <= 0:
+            raise SystemExit(f"point {point['blocks']}: missing '{REFERENCE_CONFIG}' time")
+        for config, secs in seconds.items():
+            out[(point["blocks"], config)] = secs / ref
+    return out
+
+
+def time_field(*datas):
+    """Gate on CPU time when both files carry it (deterministic work -> stable
+    CPU time even on a contended runner); fall back to wall seconds."""
+    if all(all("cpu_seconds" in p for p in d["points"]) for d in datas):
+        return "cpu_seconds"
+    return "seconds"
+
+
+def run_bench(bench, smoke):
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_controller_")
+    os.close(fd)
+    # --sweep-only keeps the full point set but skips the google-benchmark
+    # section, so a regenerated baseline is timed under the same process
+    # conditions as the smoke runs it will gate.
+    cmd = [bench, f"--json={path}", "--smoke" if smoke else "--sweep-only"]
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True)
+    return path
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--bench", help="bench binary to run for fresh numbers")
+    parser.add_argument("--fresh", help="pre-generated fresh JSON (instead of --bench)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative slowdown (default 0.25 = 25%%)")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full sweep instead of --smoke")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite --baseline from a fresh full sweep")
+    args = parser.parse_args()
+
+    if args.update:
+        if not args.bench:
+            parser.error("--update requires --bench")
+        path = run_bench(args.bench, smoke=False)
+        os.replace(path, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if bool(args.bench) == bool(args.fresh):
+        parser.error("exactly one of --bench / --fresh is required")
+    fresh_path = args.fresh or run_bench(args.bench, smoke=not args.full)
+
+    baseline_data = load(args.baseline)
+    fresh_data = load(fresh_path)
+    field = time_field(baseline_data, fresh_data)
+    print(f"comparing '{field}' ratios vs '{REFERENCE_CONFIG}'")
+    committed = relative_times(baseline_data, field)
+    fresh = relative_times(fresh_data, field)
+
+    # Collect the per-point relative times of every config present in both
+    # files, then gate on the MEDIAN across points. A real regression — an
+    # optimization breaking or losing its edge — moves every point's ratio
+    # toward 1.0 at once; single-point excursions are measurement noise.
+    per_config = {}
+    print(f"{'blocks':>10}  {'config':>20}  {'committed':>9}  {'fresh':>9}  {'delta':>7}")
+    for key in sorted(fresh):
+        if key not in committed or key[1] == REFERENCE_CONFIG:
+            continue
+        was, now = committed[key], fresh[key]
+        print(f"{key[0]:>10}  {key[1]:>20}  {was:>9.3f}  {now:>9.3f}  {now / was - 1.0:>+6.1%}")
+        per_config.setdefault(key[1], []).append((was, now))
+
+    def median(values):
+        values = sorted(values)
+        mid = len(values) // 2
+        return values[mid] if len(values) % 2 else (values[mid - 1] + values[mid]) / 2
+
+    compared = 0
+    failures = []
+    print(f"\n{'config':>20}  {'median committed':>16}  {'median fresh':>12}  {'delta':>7}")
+    for config, pairs in sorted(per_config.items()):
+        was = median([p[0] for p in pairs])
+        now = median([p[1] for p in pairs])
+        delta = now / was - 1.0
+        if was >= EDGE_CUTOFF:
+            print(f"{config:>20}  {was:>16.3f}  {now:>12.3f}  {delta:>+6.1%}"
+                  "  (not gated: no committed edge)")
+            continue
+        compared += 1
+        flag = ""
+        if delta > args.threshold:
+            failures.append((config, was, now, delta))
+            flag = "  REGRESSION"
+        print(f"{config:>20}  {was:>16.3f}  {now:>12.3f}  {delta:>+6.1%}{flag}")
+
+    if compared == 0:
+        print("error: no gateable configs common to the two files", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond {args.threshold:.0%} "
+              f"(median config-relative time vs '{REFERENCE_CONFIG}'):", file=sys.stderr)
+        for config, was, now, delta in failures:
+            print(f"  {config}: {was:.3f} -> {now:.3f} ({delta:+.1%})", file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} configs within {args.threshold:.0%} of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
