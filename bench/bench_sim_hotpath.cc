@@ -1,0 +1,296 @@
+// Flow-level simulator hot-path benchmark: drain time of N concurrent flows
+// under the incremental event loop vs the full-reallocation reference.
+//
+// The workload models many independent replication jobs in flight at once —
+// the regime the controller simulates at Baidu scale: M disjoint DC-pair
+// clusters (2 DCs, 2 servers each, one WAN link), with flows spread evenly
+// across clusters. Under full reallocation, every flow completion re-solves
+// every cluster; incrementally, only the finished flow's cluster is
+// re-solved and only its flows are touched — the two must stay bit
+// identical, which the benchmark asserts via a completion-record
+// fingerprint before reporting any timing.
+//
+//   bench_sim_hotpath --json=BENCH_simulator.json   # full sweep
+//   bench_sim_hotpath --smoke --json=out.json       # reduced scale
+//
+// --smoke keeps the small flow counts and skips the incremental-only
+// showcase points, so it finishes in seconds (`bench-smoke` ctest label).
+
+#include <time.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/simulator/network_simulator.h"
+#include "src/topology/topology.h"
+
+namespace bds {
+namespace {
+
+struct SweepConfig {
+  const char* name;
+  bool full_reallocation;
+};
+
+// "reference" is the pre-optimization per-event full reallocation; the
+// regression gate normalizes "incremental" by it.
+constexpr SweepConfig kSweepConfigs[] = {
+    {"reference", true},
+    {"incremental", false},
+};
+
+struct SweepPoint {
+  int64_t flows = 0;
+  // Wall / process-CPU seconds for the full drain, min over repetitions.
+  // The gate compares the CPU column (stable on contended runners).
+  double seconds[std::size(kSweepConfigs)] = {};
+  double cpu_seconds[std::size(kSweepConfigs)] = {};
+};
+
+double ProcessCpuSeconds() {
+  timespec ts;
+  BDS_CHECK(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+uint64_t Mix64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdull;
+  return h ^ (h >> 33);
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// M disjoint DC-pair clusters; cluster c's flows go A-server -> WAN -> B-server.
+struct ClusterNet {
+  Topology topo;
+  std::vector<std::vector<LinkId>> paths;  // [cluster][src_server*2 + dst_server]
+};
+
+ClusterNet BuildClusters(int num_clusters) {
+  ClusterNet net;
+  for (int c = 0; c < num_clusters; ++c) {
+    std::string suffix = std::to_string(c);
+    DcId a = net.topo.AddDatacenter("a" + suffix);
+    DcId b = net.topo.AddDatacenter("b" + suffix);
+    ServerId src[2];
+    ServerId dst[2];
+    for (int s = 0; s < 2; ++s) {
+      src[s] = net.topo.AddServer(a, MBps(60.0), MBps(60.0)).value();
+      dst[s] = net.topo.AddServer(b, MBps(60.0), MBps(60.0)).value();
+    }
+    LinkId wan = net.topo.AddWanLink(a, b, MBps(100.0)).value();
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        net.paths.push_back({net.topo.server(src[i]).uplink, wan,
+                             net.topo.server(dst[j]).downlink});
+      }
+    }
+  }
+  return net;
+}
+
+struct FlowSpec {
+  size_t path;  // Index into ClusterNet::paths.
+  Bytes bytes;
+  Rate pinned;
+};
+
+std::vector<FlowSpec> MakeWorkload(int64_t num_flows, int num_clusters) {
+  uint64_t s = 0x5DEECE66Dull + static_cast<uint64_t>(num_flows);
+  auto next = [&]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  std::vector<FlowSpec> specs;
+  specs.reserve(static_cast<size_t>(num_flows));
+  for (int64_t i = 0; i < num_flows; ++i) {
+    FlowSpec spec;
+    size_t cluster = static_cast<size_t>(i) % static_cast<size_t>(num_clusters);
+    spec.path = cluster * 4 + next() % 4;
+    spec.bytes = MB(1.0 + static_cast<double>(next() % 64));
+    spec.pinned = next() % 5 == 0 ? MBps(0.5 + 0.25 * static_cast<double>(next() % 4)) : 0.0;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+struct DrainResult {
+  double wall = 0.0;
+  double cpu = 0.0;
+  uint64_t fingerprint = 0;
+  int64_t events = 0;
+  int64_t reallocations = 0;
+};
+
+DrainResult DrainOnce(const ClusterNet& net, const std::vector<FlowSpec>& specs,
+                      bool full_reallocation) {
+  NetworkSimulator sim(&net.topo);
+  sim.set_full_reallocation(full_reallocation);
+  for (const FlowSpec& spec : specs) {
+    BDS_CHECK(sim.StartFlow(net.paths[spec.path], spec.bytes, spec.pinned).ok());
+  }
+  DrainResult result;
+  double cpu_start = ProcessCpuSeconds();
+  auto start = std::chrono::steady_clock::now();
+  auto end = sim.RunUntilIdle();
+  auto stop = std::chrono::steady_clock::now();
+  result.cpu = ProcessCpuSeconds() - cpu_start;
+  result.wall = std::chrono::duration<double>(stop - start).count();
+  BDS_CHECK(end.ok());
+  BDS_CHECK(sim.completed_flows().size() == specs.size());
+  uint64_t fp = 0;
+  for (const FlowRecord& r : sim.completed_flows()) {
+    fp = Mix64(fp, static_cast<uint64_t>(r.id));
+    fp = Mix64(fp, DoubleBits(r.end_time));
+    fp = Mix64(fp, DoubleBits(r.bytes));
+  }
+  result.fingerprint = fp;
+  result.events = sim.num_completion_events();
+  result.reallocations = sim.num_reallocations();
+  return result;
+}
+
+int ClustersFor(int64_t num_flows) {
+  // Keep ~100 flows per cluster so the per-event component stays job-sized
+  // as N grows, mirroring many concurrent inter-DC jobs.
+  int clusters = static_cast<int>(num_flows / 100);
+  return clusters < 8 ? 8 : clusters;
+}
+
+std::vector<SweepPoint> RunSweep(bool smoke) {
+  std::vector<int64_t> flow_counts =
+      smoke ? std::vector<int64_t>{1'000, 3'000}
+            : std::vector<int64_t>{1'000, 3'000, 10'000};
+
+  bench::PrintHeader("Simulator hot path", "drain time of N concurrent flows",
+                     "disjoint DC-pair clusters, ~100 flows each, mixed pinned/fair; "
+                     "full per-event reallocation vs incremental (bit-identical, "
+                     "min over repetitions)");
+  std::printf("%10s  %10s  %12s  %12s  %9s  %10s  %12s\n", "flows", "clusters",
+              "reference", "incremental", "speedup", "events", "comp solves");
+
+  std::vector<SweepPoint> points;
+  for (int64_t num_flows : flow_counts) {
+    int clusters = ClustersFor(num_flows);
+    ClusterNet net = BuildClusters(clusters);
+    std::vector<FlowSpec> specs = MakeWorkload(num_flows, clusters);
+    (void)DrainOnce(net, specs, /*full_reallocation=*/false);  // Warmup.
+
+    const int reps = num_flows >= 10'000 ? 2 : 3;
+    SweepPoint point;
+    point.flows = num_flows;
+    uint64_t fingerprints[std::size(kSweepConfigs)] = {};
+    DrainResult last;
+    for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+      double best_wall = 0.0;
+      double best_cpu = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        DrainResult res = DrainOnce(net, specs, kSweepConfigs[ci].full_reallocation);
+        if (r == 0 || res.wall < best_wall) {
+          best_wall = res.wall;
+        }
+        if (r == 0 || res.cpu < best_cpu) {
+          best_cpu = res.cpu;
+        }
+        fingerprints[ci] = res.fingerprint;
+        last = res;
+      }
+      point.seconds[ci] = best_wall;
+      point.cpu_seconds[ci] = best_cpu;
+    }
+    BDS_CHECK_MSG(fingerprints[0] == fingerprints[1],
+                  "incremental simulation diverged from full reallocation");
+    std::printf("%10lld  %10d  %9.1f ms  %9.1f ms  %8.2fx  %10lld  %12lld\n",
+                static_cast<long long>(num_flows), clusters, point.seconds[0] * 1e3,
+                point.seconds[1] * 1e3, point.seconds[0] / point.seconds[1],
+                static_cast<long long>(last.events),
+                static_cast<long long>(last.reallocations));
+    points.push_back(point);
+  }
+
+  if (!smoke) {
+    // Incremental-only showcase: scales the reference cannot reach in
+    // reasonable time. Not part of the gated JSON.
+    std::printf("\n%10s  %10s  %12s  %10s  %12s   (incremental only)\n", "flows",
+                "clusters", "incremental", "events", "comp solves");
+    for (int64_t num_flows : {30'000, 100'000}) {
+      int clusters = ClustersFor(num_flows);
+      ClusterNet net = BuildClusters(clusters);
+      std::vector<FlowSpec> specs = MakeWorkload(num_flows, clusters);
+      DrainResult res = DrainOnce(net, specs, /*full_reallocation=*/false);
+      std::printf("%10lld  %10d  %9.1f ms  %10lld  %12lld\n",
+                  static_cast<long long>(num_flows), clusters, res.wall * 1e3,
+                  static_cast<long long>(res.events),
+                  static_cast<long long>(res.reallocations));
+    }
+  }
+  return points;
+}
+
+void WriteSweepJson(const std::vector<SweepPoint>& points, bool smoke,
+                    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  BDS_CHECK_MSG(f != nullptr, "cannot open --json output path");
+  std::fprintf(f, "{\n  \"benchmark\": \"sim_hotpath\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"reference_config\": \"reference\",\n");
+  std::fprintf(f, "  \"configs\": [");
+  for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+    std::fprintf(f, "%s\"%s\"", ci == 0 ? "" : ", ", kSweepConfigs[ci].name);
+  }
+  std::fprintf(f, "],\n  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f, "    {\"flows\": %lld, \"seconds\": {",
+                 static_cast<long long>(points[i].flows));
+    for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+      std::fprintf(f, "%s\"%s\": %.6f", ci == 0 ? "" : ", ", kSweepConfigs[ci].name,
+                   points[i].seconds[ci]);
+    }
+    std::fprintf(f, "}, \"cpu_seconds\": {");
+    for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+      std::fprintf(f, "%s\"%s\": %.6f", ci == 0 ? "" : ", ", kSweepConfigs[ci].name,
+                   points[i].cpu_seconds[ci]);
+    }
+    std::fprintf(f, "}}%s\n", i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace bds
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      // Accepted for regression-tool symmetry; the sweep is all this binary
+      // does, so it only skips the showcase points (like --smoke does not).
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  std::vector<bds::SweepPoint> points = bds::RunSweep(smoke);
+  if (!json_path.empty()) {
+    bds::WriteSweepJson(points, smoke, json_path);
+  }
+  return 0;
+}

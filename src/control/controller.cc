@@ -402,7 +402,7 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
       continue;
     }
     if (flow->current_rate <= kFluidEpsilon ||
-        flow->remaining / flow->current_rate > horizon) {
+        flow->RemainingAt(sim_.now()) / flow->current_rate > horizon) {
       stalled.push_back(tag);
     }
   }
@@ -430,7 +430,7 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     const Flow* flow = sim_.FindFlow(t.flow);
     double fraction = 1.0;
     if (flow != nullptr && flow->current_rate > 0.0) {
-      double remaining_seconds = flow->remaining / flow->current_rate;
+      double remaining_seconds = flow->RemainingAt(sim_.now()) / flow->current_rate;
       fraction = std::min(1.0, remaining_seconds / options_.algorithm.cycle_length);
     }
     for (LinkId l : t.assignment.path.links) {

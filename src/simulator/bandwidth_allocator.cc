@@ -8,12 +8,223 @@
 
 namespace bds {
 
+void BandwidthAllocator::EnsureScratch(size_t num_links) {
+  if (link_gen_.size() < num_links) {
+    link_gen_.resize(num_links, 0);
+    residual_.resize(num_links, 0.0);
+    load_.resize(num_links, 0.0);
+    active_count_.resize(num_links, 0);
+    link_saturated_.resize(num_links, 0);
+    member_stamp_.resize(num_links, 0);
+    link_members_.resize(num_links);
+  }
+}
+
+void BandwidthAllocator::AllocateSubset(const std::vector<Rate>& capacities,
+                                        const std::vector<Flow*>& flows) {
+  EnsureScratch(capacities.size());
+  ++gen_;
+  used_links_.clear();
+  pinned_.clear();
+  fair_.clear();
+
+  auto touch = [&](size_t l) {
+    if (link_gen_[l] != gen_) {
+      link_gen_[l] = gen_;
+      residual_[l] = std::max(0.0, capacities[l]);
+      active_count_[l] = 0;
+      link_saturated_[l] = 0;
+      used_links_.push_back(l);
+    }
+  };
+  for (Flow* f : flows) {
+    if (f->completed()) {
+      f->current_rate = 0.0;
+      continue;
+    }
+    for (LinkId l : f->links) {
+      touch(static_cast<size_t>(l));
+    }
+    if (f->pinned()) {
+      f->current_rate = f->pinned_rate;
+      pinned_.push_back(f);
+    } else {
+      f->current_rate = 0.0;
+      fair_.push_back(f);
+    }
+  }
+  // Ascending link order so the phase-1 worst-link tie break matches the
+  // reference solver's 0..num_links scan.
+  std::sort(used_links_.begin(), used_links_.end());
+
+  // --- Phase 1: pinned flows. ---
+  // Start each at its pinned rate, then repeatedly scale down the flows
+  // crossing the most oversubscribed link until everything fits. Each
+  // iteration permanently satisfies one link, so this terminates in at most
+  // used_links rounds.
+  if (!pinned_.empty()) {
+    for (size_t round = 0; round < used_links_.size() + 1; ++round) {
+      for (size_t l : used_links_) {
+        load_[l] = 0.0;
+      }
+      for (Flow* f : pinned_) {
+        for (LinkId l : f->links) {
+          load_[static_cast<size_t>(l)] += f->current_rate;
+        }
+      }
+      double worst_factor = 1.0;
+      size_t worst_link = capacities.size();
+      for (size_t l : used_links_) {
+        if (load_[l] > residual_[l] * (1.0 + kFluidEpsilon) && load_[l] > 0.0) {
+          double factor = residual_[l] / load_[l];
+          if (factor < worst_factor) {
+            worst_factor = factor;
+            worst_link = l;
+          }
+        }
+      }
+      if (worst_link == capacities.size()) {
+        break;  // Feasible.
+      }
+      for (Flow* f : pinned_) {
+        for (LinkId l : f->links) {
+          if (static_cast<size_t>(l) == worst_link) {
+            f->current_rate *= worst_factor;
+            break;
+          }
+        }
+      }
+    }
+    // Subtract the pinned load from the residual available to fair flows.
+    for (Flow* f : pinned_) {
+      for (LinkId l : f->links) {
+        residual_[static_cast<size_t>(l)] =
+            std::max(0.0, residual_[static_cast<size_t>(l)] - f->current_rate);
+      }
+    }
+  }
+
+  // --- Phase 2: max-min fair filling for unpinned flows. ---
+  if (fair_.empty()) {
+    return;
+  }
+  frozen_.assign(fair_.size(), 0);
+  for (Flow* f : fair_) {
+    for (LinkId l : f->links) {
+      ++active_count_[static_cast<size_t>(l)];
+    }
+  }
+
+  size_t remaining_flows = fair_.size();
+  // Each round saturates at least one used link (or freezes all flows).
+  for (size_t round = 0; round < used_links_.size() + 1 && remaining_flows > 0; ++round) {
+    // Largest uniform increment every active flow can take.
+    double inc = std::numeric_limits<double>::infinity();
+    for (size_t l : used_links_) {
+      if (active_count_[l] > 0 && !link_saturated_[l]) {
+        inc = std::min(inc, residual_[l] / active_count_[l]);
+      }
+    }
+    if (!std::isfinite(inc)) {
+      break;  // No capacity constraint binds (shouldn't happen in practice).
+    }
+    for (size_t i = 0; i < fair_.size(); ++i) {
+      if (!frozen_[i]) {
+        fair_[i]->current_rate += inc;
+      }
+    }
+    for (size_t l : used_links_) {
+      if (active_count_[l] > 0 && !link_saturated_[l]) {
+        residual_[l] -= inc * active_count_[l];
+        if (residual_[l] <= kFluidEpsilon * std::max(1.0, capacities[l])) {
+          link_saturated_[l] = 1;
+        }
+      }
+    }
+    // Freeze flows crossing newly saturated links.
+    for (size_t i = 0; i < fair_.size(); ++i) {
+      if (frozen_[i]) {
+        continue;
+      }
+      bool hit = false;
+      for (LinkId l : fair_[i]->links) {
+        if (link_saturated_[static_cast<size_t>(l)]) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        frozen_[i] = 1;
+        --remaining_flows;
+        for (LinkId l : fair_[i]->links) {
+          --active_count_[static_cast<size_t>(l)];
+        }
+      }
+    }
+  }
+}
+
 void BandwidthAllocator::Allocate(const std::vector<Rate>& capacities,
                                   std::vector<Flow*>& flows) {
+  EnsureScratch(capacities.size());
+
+  // Build link -> member-flow adjacency for the live flows (stamped rows, so
+  // the cost is O(flows * path), not O(topology links)).
+  ++member_gen_;
+  for (size_t i = 0; i < flows.size(); ++i) {
+    Flow* f = flows[i];
+    if (f->completed()) {
+      f->current_rate = 0.0;
+      continue;
+    }
+    for (LinkId l : f->links) {
+      size_t li = static_cast<size_t>(l);
+      if (member_stamp_[li] != member_gen_) {
+        member_stamp_[li] = member_gen_;
+        link_members_[li].clear();
+      }
+      link_members_[li].push_back(i);
+    }
+  }
+
+  // BFS each link-connected component and solve it in isolation, flows
+  // ordered by id — the same canonical subsets the simulator's incremental
+  // path recomputes one at a time.
+  visited_.assign(flows.size(), 0);
+  for (size_t i = 0; i < flows.size(); ++i) {
+    if (visited_[i] || flows[i]->completed()) {
+      continue;
+    }
+    comp_queue_.clear();
+    comp_queue_.push_back(i);
+    visited_[i] = 1;
+    for (size_t head = 0; head < comp_queue_.size(); ++head) {
+      Flow* f = flows[comp_queue_[head]];
+      for (LinkId l : f->links) {
+        for (size_t j : link_members_[static_cast<size_t>(l)]) {
+          if (!visited_[j]) {
+            visited_[j] = 1;
+            comp_queue_.push_back(j);
+          }
+        }
+      }
+    }
+    comp_flows_.clear();
+    for (size_t j : comp_queue_) {
+      comp_flows_.push_back(flows[j]);
+    }
+    std::sort(comp_flows_.begin(), comp_flows_.end(),
+              [](const Flow* a, const Flow* b) { return a->id < b->id; });
+    AllocateSubset(capacities, comp_flows_);
+  }
+}
+
+void BandwidthAllocator::AllocateReference(const std::vector<Rate>& capacities,
+                                           std::vector<Flow*>& flows) {
   size_t num_links = capacities.size();
-  residual_.assign(num_links, 0.0);
+  std::vector<Rate> residual(num_links, 0.0);
   for (size_t l = 0; l < num_links; ++l) {
-    residual_[l] = std::max(0.0, capacities[l]);
+    residual[l] = std::max(0.0, capacities[l]);
   }
 
   // --- Phase 1: pinned flows. ---
@@ -50,8 +261,8 @@ void BandwidthAllocator::Allocate(const std::vector<Rate>& capacities,
       double worst_factor = 1.0;
       size_t worst_link = num_links;
       for (size_t l = 0; l < num_links; ++l) {
-        if (load[l] > residual_[l] * (1.0 + kFluidEpsilon) && load[l] > 0.0) {
-          double factor = residual_[l] / load[l];
+        if (load[l] > residual[l] * (1.0 + kFluidEpsilon) && load[l] > 0.0) {
+          double factor = residual[l] / load[l];
           if (factor < worst_factor) {
             worst_factor = factor;
             worst_link = l;
@@ -73,38 +284,36 @@ void BandwidthAllocator::Allocate(const std::vector<Rate>& capacities,
     // Subtract the pinned load from the residual available to fair flows.
     for (Flow* f : pinned) {
       for (LinkId l : f->links) {
-        residual_[static_cast<size_t>(l)] =
-            std::max(0.0, residual_[static_cast<size_t>(l)] - f->current_rate);
+        residual[static_cast<size_t>(l)] =
+            std::max(0.0, residual[static_cast<size_t>(l)] - f->current_rate);
       }
     }
   }
 
   // --- Phase 2: max-min fair filling for unpinned flows. ---
-  // All loops run over the links that actually carry a fair flow, not the
-  // whole topology — the allocator is on the simulator's per-event hot path.
   if (fair.empty()) {
     return;
   }
-  active_count_.assign(num_links, 0);
-  link_saturated_.assign(num_links, 0);
+  std::vector<int> active_count(num_links, 0);
+  std::vector<char> link_saturated(num_links, 0);
   std::vector<char> frozen(fair.size(), 0);
-  used_links_.clear();
+  std::vector<size_t> used_links;
   for (Flow* f : fair) {
     for (LinkId l : f->links) {
-      if (active_count_[static_cast<size_t>(l)]++ == 0) {
-        used_links_.push_back(static_cast<size_t>(l));
+      if (active_count[static_cast<size_t>(l)]++ == 0) {
+        used_links.push_back(static_cast<size_t>(l));
       }
     }
   }
 
   size_t remaining_flows = fair.size();
   // Each round saturates at least one used link (or freezes all flows).
-  for (size_t round = 0; round < used_links_.size() + 1 && remaining_flows > 0; ++round) {
+  for (size_t round = 0; round < used_links.size() + 1 && remaining_flows > 0; ++round) {
     // Largest uniform increment every active flow can take.
     double inc = std::numeric_limits<double>::infinity();
-    for (size_t l : used_links_) {
-      if (active_count_[l] > 0 && !link_saturated_[l]) {
-        inc = std::min(inc, residual_[l] / active_count_[l]);
+    for (size_t l : used_links) {
+      if (active_count[l] > 0 && !link_saturated[l]) {
+        inc = std::min(inc, residual[l] / active_count[l]);
       }
     }
     if (!std::isfinite(inc)) {
@@ -115,11 +324,11 @@ void BandwidthAllocator::Allocate(const std::vector<Rate>& capacities,
         fair[i]->current_rate += inc;
       }
     }
-    for (size_t l : used_links_) {
-      if (active_count_[l] > 0 && !link_saturated_[l]) {
-        residual_[l] -= inc * active_count_[l];
-        if (residual_[l] <= kFluidEpsilon * std::max(1.0, capacities[l])) {
-          link_saturated_[l] = 1;
+    for (size_t l : used_links) {
+      if (active_count[l] > 0 && !link_saturated[l]) {
+        residual[l] -= inc * active_count[l];
+        if (residual[l] <= kFluidEpsilon * std::max(1.0, capacities[l])) {
+          link_saturated[l] = 1;
         }
       }
     }
@@ -130,7 +339,7 @@ void BandwidthAllocator::Allocate(const std::vector<Rate>& capacities,
       }
       bool hit = false;
       for (LinkId l : fair[i]->links) {
-        if (link_saturated_[static_cast<size_t>(l)]) {
+        if (link_saturated[static_cast<size_t>(l)]) {
           hit = true;
           break;
         }
@@ -139,7 +348,7 @@ void BandwidthAllocator::Allocate(const std::vector<Rate>& capacities,
         frozen[i] = 1;
         --remaining_flows;
         for (LinkId l : fair[i]->links) {
-          --active_count_[static_cast<size_t>(l)];
+          --active_count[static_cast<size_t>(l)];
         }
       }
     }

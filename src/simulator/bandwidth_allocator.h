@@ -8,11 +8,27 @@
 //  2. Unpinned flows share the remaining capacity max-min fairly: all active
 //     flows grow at the same rate until a link saturates; flows through
 //     saturated links freeze; repeat.
+//
+// The canonical entry points are component-scoped. Rates under progressive
+// filling decompose by connected components of the flow-link incidence
+// graph, so `Allocate` partitions the flow set into components and solves
+// each with `AllocateSubset` (flows ordered by id). `AllocateSubset` is what
+// the simulator's incremental reallocation calls directly for a single dirty
+// component; because it is a pure function of (sorted component flows, link
+// capacities), recomputing an untouched component reproduces bit-identical
+// rates — the invariant the incremental path relies on. The original
+// whole-network solver is retained as `AllocateReference` and checked
+// against `Allocate` by a randomized property suite (rates agree to
+// floating-point reassociation noise, ~1e-12 relative).
+//
+// Scratch state is generation-stamped per link, so a subset solve costs
+// O(component links + flows), not O(topology links).
 
 #ifndef BDS_SRC_SIMULATOR_BANDWIDTH_ALLOCATOR_H_
 #define BDS_SRC_SIMULATOR_BANDWIDTH_ALLOCATOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/common/types.h"
@@ -24,15 +40,44 @@ class BandwidthAllocator {
  public:
   // `capacities[l]` is the residual capacity of link l (already net of
   // background traffic). Writes Flow::current_rate for every flow in
-  // `flows`. Completed flows get rate 0.
+  // `flows`. Completed flows get rate 0. Component-decomposed: equivalent to
+  // calling AllocateSubset on every link-connected component.
   void Allocate(const std::vector<Rate>& capacities, std::vector<Flow*>& flows);
 
+  // Solves one flow pool as a single progressive-filling instance, touching
+  // only the links the pool crosses. Callers pass one link-connected
+  // component, sorted by flow id, for canonical (reproducible) results.
+  void AllocateSubset(const std::vector<Rate>& capacities,
+                      const std::vector<Flow*>& flows);
+
+  // The original whole-network solver (single global filling pass over all
+  // links), retained as the semantic reference for the parity suite.
+  void AllocateReference(const std::vector<Rate>& capacities, std::vector<Flow*>& flows);
+
  private:
-  // Scratch vectors reused across calls to avoid per-cycle allocation churn.
+  void EnsureScratch(size_t num_links);
+
+  // Generation-stamped per-link scratch (valid when link_gen_[l] == gen_).
+  uint64_t gen_ = 0;
+  std::vector<uint64_t> link_gen_;
   std::vector<Rate> residual_;
+  std::vector<Rate> load_;
   std::vector<int> active_count_;
   std::vector<char> link_saturated_;
   std::vector<size_t> used_links_;
+
+  // Per-call flow scratch.
+  std::vector<Flow*> pinned_;
+  std::vector<Flow*> fair_;
+  std::vector<char> frozen_;
+
+  // Component-partition scratch for Allocate().
+  uint64_t member_gen_ = 0;
+  std::vector<uint64_t> member_stamp_;
+  std::vector<std::vector<size_t>> link_members_;
+  std::vector<char> visited_;
+  std::vector<size_t> comp_queue_;
+  std::vector<Flow*> comp_flows_;
 };
 
 }  // namespace bds

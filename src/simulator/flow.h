@@ -23,11 +23,17 @@ struct Flow {
   std::vector<LinkId> links;
 
   Bytes total_bytes = 0.0;
+  // Bytes left to transfer *as of anchor_time*. Progress is lazy: between
+  // rate changes the pair (anchor_time, remaining) plus current_rate fully
+  // describe the flow, so untouched flows cost nothing per event. Use
+  // RemainingAt(now) for the instantaneous value.
   Bytes remaining = 0.0;
+  SimTime anchor_time = 0.0;
 
   // 0 means "fair share"; > 0 means pinned to at most this rate.
   Rate pinned_rate = 0.0;
-  // Set by the bandwidth allocator at every reallocation.
+  // Set by the bandwidth allocator at every reallocation; valid since
+  // anchor_time.
   Rate current_rate = 0.0;
 
   SimTime start_time = 0.0;
@@ -38,8 +44,23 @@ struct Flow {
   int64_t tag = 0;
   int64_t tag2 = 0;
 
+  // --- Hot-path bookkeeping owned by NetworkSimulator / LinkFlowIndex. ---
+  // Bumped whenever current_rate changes; completion-heap entries carrying an
+  // older epoch are stale and lazily discarded.
+  uint32_t rate_epoch = 0;
+  // Visit marker for component gathering (LinkFlowIndex generation counter).
+  uint64_t visit_stamp = 0;
+  // incidence_pos[i] is this flow's position in the per-link entry list of
+  // links[i], kept in sync by LinkFlowIndex's swap-erase.
+  std::vector<int32_t> incidence_pos;
+
   bool pinned() const { return pinned_rate > 0.0; }
   bool completed() const { return end_time >= 0.0; }
+
+  Bytes RemainingAt(SimTime t) const {
+    Bytes left = remaining - current_rate * (t - anchor_time);
+    return left > 0.0 ? left : 0.0;
+  }
 };
 
 // Immutable record of a finished flow, kept for reporting.

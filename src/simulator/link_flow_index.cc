@@ -1,0 +1,71 @@
+#include "src/simulator/link_flow_index.h"
+
+#include "src/common/status.h"
+
+namespace bds {
+
+void LinkFlowIndex::Reset(int num_links) {
+  by_link_.assign(static_cast<size_t>(num_links), {});
+  link_stamp_.assign(static_cast<size_t>(num_links), 0);
+  gen_ = 0;
+}
+
+void LinkFlowIndex::Add(Flow* flow) {
+  flow->incidence_pos.resize(flow->links.size());
+  for (size_t i = 0; i < flow->links.size(); ++i) {
+    auto& row = by_link_[static_cast<size_t>(flow->links[i])];
+    flow->incidence_pos[i] = static_cast<int32_t>(row.size());
+    row.push_back(LinkFlowEntry{flow, static_cast<int32_t>(i)});
+  }
+}
+
+void LinkFlowIndex::Remove(Flow* flow) {
+  for (size_t i = 0; i < flow->links.size(); ++i) {
+    auto& row = by_link_[static_cast<size_t>(flow->links[i])];
+    size_t pos = static_cast<size_t>(flow->incidence_pos[i]);
+    BDS_CHECK(pos < row.size() && row[pos].flow == flow);
+    if (pos + 1 != row.size()) {
+      row[pos] = row.back();
+      row[pos].flow->incidence_pos[static_cast<size_t>(row[pos].hop)] =
+          static_cast<int32_t>(pos);
+    }
+    row.pop_back();
+  }
+  flow->incidence_pos.clear();
+}
+
+bool LinkFlowIndex::GatherFrom(LinkId seed, std::vector<Flow*>* out) {
+  size_t s = static_cast<size_t>(seed);
+  if (link_stamp_[s] == gen_) {
+    return false;
+  }
+  link_stamp_[s] = gen_;
+  if (by_link_[s].empty()) {
+    return false;
+  }
+  queue_.clear();
+  queue_.push_back(seed);
+  bool any = false;
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    const auto& row = by_link_[static_cast<size_t>(queue_[head])];
+    for (const LinkFlowEntry& e : row) {
+      Flow* f = e.flow;
+      if (f->visit_stamp == gen_) {
+        continue;
+      }
+      f->visit_stamp = gen_;
+      out->push_back(f);
+      any = true;
+      for (LinkId l : f->links) {
+        size_t li = static_cast<size_t>(l);
+        if (link_stamp_[li] != gen_) {
+          link_stamp_[li] = gen_;
+          queue_.push_back(l);
+        }
+      }
+    }
+  }
+  return any;
+}
+
+}  // namespace bds

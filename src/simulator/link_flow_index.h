@@ -1,0 +1,66 @@
+// Link -> flow incidence index for the simulator's per-event hot path.
+//
+// Per link, a contiguous array of (flow, hop) entries — CSR-like rows that
+// support O(1) swap-erase removal because every flow records its position in
+// each row (Flow::incidence_pos). The index answers two hot-path questions
+// without scanning the full active-flow set:
+//   * which flows cross link L (FlowsCrossingLink, kill-on-hard-down);
+//   * which flows belong to the connected component of the flow-link
+//     incidence graph touched by a change (incremental reallocation).
+//
+// Component gathering uses generation stamps (per link here, per flow in
+// Flow::visit_stamp), so an epoch costs O(component) with no global clears.
+
+#ifndef BDS_SRC_SIMULATOR_LINK_FLOW_INDEX_H_
+#define BDS_SRC_SIMULATOR_LINK_FLOW_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/simulator/flow.h"
+
+namespace bds {
+
+struct LinkFlowEntry {
+  Flow* flow = nullptr;
+  int32_t hop = 0;  // Index into flow->links identifying this entry's link.
+};
+
+class LinkFlowIndex {
+ public:
+  void Reset(int num_links);
+
+  // Registers `flow` on every link of its path; fills flow->incidence_pos.
+  // The flow's path must not repeat a link (NetworkSimulator rejects those).
+  void Add(Flow* flow);
+
+  // Unregisters `flow` from every link of its path (swap-erase; the moved
+  // entry's flow has its incidence_pos patched).
+  void Remove(Flow* flow);
+
+  const std::vector<LinkFlowEntry>& at(LinkId link) const {
+    return by_link_[static_cast<size_t>(link)];
+  }
+
+  // Starts a new gather generation: link/flow visit stamps from previous
+  // epochs become invalid.
+  void BeginEpoch() { ++gen_; }
+
+  // Appends every flow in the connected component reachable from `seed` to
+  // `out` (BFS over shared links). Returns false without touching `out` when
+  // the seed was already gathered this epoch or carries no flows. Flows are
+  // appended in BFS order — callers wanting a canonical order must sort.
+  bool GatherFrom(LinkId seed, std::vector<Flow*>* out);
+
+ private:
+  std::vector<std::vector<LinkFlowEntry>> by_link_;
+  std::vector<uint64_t> link_stamp_;
+  uint64_t gen_ = 0;
+  std::vector<LinkId> queue_;  // BFS scratch.
+};
+
+}  // namespace bds
+
+#endif  // BDS_SRC_SIMULATOR_LINK_FLOW_INDEX_H_

@@ -7,9 +7,32 @@ namespace bds {
 
 NetworkSimulator::NetworkSimulator(const Topology* topo) : topo_(topo) {
   BDS_CHECK(topo != nullptr);
-  background_.assign(static_cast<size_t>(topo->num_links()), 0.0);
-  fault_factor_.assign(static_cast<size_t>(topo->num_links()), 1.0);
-  link_bytes_.assign(static_cast<size_t>(topo->num_links()), 0.0);
+  size_t n = static_cast<size_t>(topo->num_links());
+  background_.assign(n, 0.0);
+  fault_factor_.assign(n, 1.0);
+  usable_capacity_.resize(n);
+  for (LinkId l = 0; l < topo->num_links(); ++l) {
+    usable_capacity_[static_cast<size_t>(l)] = std::max(0.0, topo->link(l).capacity);
+  }
+  link_rate_.assign(n, 0.0);
+  link_integrated_at_.assign(n, 0.0);
+  link_bytes_.assign(n, 0.0);
+  link_dirty_.assign(n, 0);
+  incidence_.Reset(topo->num_links());
+}
+
+void NetworkSimulator::set_full_reallocation(bool on) {
+  BDS_CHECK(active_.empty());  // Mode must be fixed before flows exist.
+  full_realloc_ = on;
+}
+
+void NetworkSimulator::MarkDirty(LinkId link) {
+  size_t li = static_cast<size_t>(link);
+  if (!link_dirty_[li]) {
+    link_dirty_[li] = 1;
+    dirty_links_.push_back(link);
+  }
+  rates_dirty_ = true;
 }
 
 StatusOr<FlowId> NetworkSimulator::StartFlow(std::vector<LinkId> links, Bytes bytes,
@@ -20,6 +43,15 @@ StatusOr<FlowId> NetworkSimulator::StartFlow(std::vector<LinkId> links, Bytes by
   for (LinkId l : links) {
     if (l < 0 || l >= topo_->num_links()) {
       return InvalidArgumentError("StartFlow: bad link id");
+    }
+  }
+  // A repeated link would double-count the flow in the incidence index and
+  // the per-link rate aggregates; real paths are simple, so reject it.
+  for (size_t i = 0; i < links.size(); ++i) {
+    for (size_t j = i + 1; j < links.size(); ++j) {
+      if (links[i] == links[j]) {
+        return InvalidArgumentError("StartFlow: path repeats a link");
+      }
     }
   }
   if (bytes <= 0.0) {
@@ -33,14 +65,19 @@ StatusOr<FlowId> NetworkSimulator::StartFlow(std::vector<LinkId> links, Bytes by
   flow->links = std::move(links);
   flow->total_bytes = bytes;
   flow->remaining = bytes;
+  flow->anchor_time = now_;
   flow->pinned_rate = pinned_rate;
   flow->start_time = now_;
   flow->tag = tag;
   flow->tag2 = tag2;
   FlowId id = flow->id;
+  Flow* raw = flow.get();
   index_[id] = active_.size();
   active_.push_back(std::move(flow));
-  rates_dirty_ = true;
+  incidence_.Add(raw);
+  for (LinkId l : raw->links) {
+    MarkDirty(l);
+  }
   return id;
 }
 
@@ -52,8 +89,11 @@ Status NetworkSimulator::RepinFlow(FlowId id, Rate pinned_rate) {
   if (pinned_rate < 0.0) {
     return InvalidArgumentError("RepinFlow: negative rate");
   }
-  active_[it->second]->pinned_rate = pinned_rate;
-  rates_dirty_ = true;
+  Flow* f = active_[it->second].get();
+  f->pinned_rate = pinned_rate;
+  for (LinkId l : f->links) {
+    MarkDirty(l);
+  }
   return Status::Ok();
 }
 
@@ -63,15 +103,10 @@ StatusOr<Bytes> NetworkSimulator::CancelFlow(FlowId id) {
     return NotFoundError("CancelFlow: no such active flow");
   }
   size_t pos = it->second;
-  Bytes delivered = active_[pos]->total_bytes - active_[pos]->remaining;
-  // Swap-erase; fix the moved flow's index.
-  index_.erase(it);
-  if (pos + 1 != active_.size()) {
-    std::swap(active_[pos], active_.back());
-    index_[active_[pos]->id] = pos;
-  }
-  active_.pop_back();
-  rates_dirty_ = true;
+  Flow* f = active_[pos].get();
+  Bytes delivered = f->total_bytes - f->RemainingAt(now_);
+  DetachFlow(f);
+  EraseFromActive(pos);
   return delivered;
 }
 
@@ -90,8 +125,11 @@ Status NetworkSimulator::SetBackgroundRate(LinkId link, Rate rate) {
   if (rate < 0.0) {
     return InvalidArgumentError("SetBackgroundRate: negative rate");
   }
-  background_[static_cast<size_t>(link)] = rate;
-  rates_dirty_ = true;
+  size_t li = static_cast<size_t>(link);
+  background_[li] = rate;
+  usable_capacity_[li] =
+      std::max(0.0, topo_->link(link).capacity * fault_factor_[li] - rate);
+  MarkDirty(link);
   return Status::Ok();
 }
 
@@ -107,8 +145,11 @@ Status NetworkSimulator::SetLinkFaultFactor(LinkId link, double factor) {
   if (factor < 0.0 || factor > 1.0) {
     return InvalidArgumentError("SetLinkFaultFactor: factor must be in [0, 1]");
   }
-  fault_factor_[static_cast<size_t>(link)] = factor;
-  rates_dirty_ = true;
+  size_t li = static_cast<size_t>(link);
+  fault_factor_[li] = factor;
+  usable_capacity_[li] =
+      std::max(0.0, topo_->link(link).capacity * factor - background_[li]);
+  MarkDirty(link);
   return Status::Ok();
 }
 
@@ -118,107 +159,213 @@ double NetworkSimulator::LinkFaultFactor(LinkId link) const {
 }
 
 std::vector<FlowId> NetworkSimulator::FlowsCrossingLink(LinkId link) const {
+  BDS_CHECK(link >= 0 && link < topo_->num_links());
   std::vector<FlowId> out;
-  for (const auto& f : active_) {
-    for (LinkId l : f->links) {
-      if (l == link) {
-        out.push_back(f->id);
-        break;
-      }
-    }
+  const auto& row = incidence_.at(link);
+  out.reserve(row.size());
+  for (const LinkFlowEntry& e : row) {
+    out.push_back(e.flow->id);
   }
-  std::sort(out.begin(), out.end());  // active_ order changes with swap-erase.
+  std::sort(out.begin(), out.end());  // Row order changes with swap-erase.
   return out;
 }
 
 double NetworkSimulator::MaxCapacityViolation() const {
-  std::vector<Rate> bulk(static_cast<size_t>(topo_->num_links()), 0.0);
-  for (const auto& f : active_) {
-    for (LinkId l : f->links) {
-      bulk[static_cast<size_t>(l)] += f->current_rate;
-    }
-  }
   double worst = -kTimeInfinity;
+  bool any = false;
   for (LinkId l = 0; l < topo_->num_links(); ++l) {
     size_t i = static_cast<size_t>(l);
     Rate nominal = topo_->link(l).capacity;
     if (nominal <= 0.0) {
       continue;
     }
+    any = true;
     Rate usable = std::max(0.0, nominal * fault_factor_[i] - background_[i]);
-    worst = std::max(worst, (bulk[i] - usable) / nominal);
+    worst = std::max(worst, (link_rate_[i] - usable) / nominal);
   }
-  return worst;
+  // No link with positive capacity means nothing can be violated.
+  return any ? worst : 0.0;
+}
+
+void NetworkSimulator::IntegrateLink(LinkId link) {
+  size_t li = static_cast<size_t>(link);
+  if (link_integrated_at_[li] == now_) {
+    return;
+  }
+  link_bytes_[li] += link_rate_[li] * (now_ - link_integrated_at_[li]);
+  link_integrated_at_[li] = now_;
+}
+
+void NetworkSimulator::DetachFlow(Flow* f) {
+  for (LinkId l : f->links) {
+    IntegrateLink(l);
+    link_rate_[static_cast<size_t>(l)] -= f->current_rate;
+    MarkDirty(l);
+  }
+  incidence_.Remove(f);
+  // Snap drained links to exactly zero so incremental -= drift can't leak
+  // into byte integration or MaxCapacityViolation.
+  for (LinkId l : f->links) {
+    if (incidence_.at(l).empty()) {
+      link_rate_[static_cast<size_t>(l)] = 0.0;
+    }
+  }
+}
+
+void NetworkSimulator::EraseFromActive(size_t pos) {
+  index_.erase(active_[pos]->id);
+  if (pos + 1 != active_.size()) {
+    std::swap(active_[pos], active_.back());
+    index_[active_[pos]->id] = pos;
+  }
+  active_.pop_back();
+}
+
+void NetworkSimulator::ReallocateComponent(LinkId seed) {
+  comp_flows_.clear();
+  if (!incidence_.GatherFrom(seed, &comp_flows_)) {
+    return;
+  }
+  // Canonical order: AllocateSubset must see the same sequence no matter
+  // which seed found the component or how BFS traversed it.
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+  old_rates_.resize(comp_flows_.size());
+  for (size_t i = 0; i < comp_flows_.size(); ++i) {
+    old_rates_[i] = comp_flows_[i]->current_rate;
+  }
+  allocator_.AllocateSubset(usable_capacity_, comp_flows_);
+  ++num_reallocations_;
+  for (size_t i = 0; i < comp_flows_.size(); ++i) {
+    Flow* f = comp_flows_[i];
+    Rate new_rate = f->current_rate;
+    if (new_rate == old_rates_[i]) {
+      continue;  // Bitwise unchanged: anchor, epoch, and heap entry stay valid.
+    }
+    Bytes left = f->remaining - old_rates_[i] * (now_ - f->anchor_time);
+    f->remaining = left > 0.0 ? left : 0.0;
+    f->anchor_time = now_;
+    ++f->rate_epoch;
+    for (LinkId l : f->links) {
+      IntegrateLink(l);
+      link_rate_[static_cast<size_t>(l)] += new_rate - old_rates_[i];
+    }
+    if (!full_realloc_ && new_rate > 0.0) {
+      heap_.push_back(CompletionEntry{CompletionKey(*f), f->id, f->rate_epoch});
+      std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    }
+  }
 }
 
 void NetworkSimulator::Reallocate() {
-  capacities_scratch_.resize(static_cast<size_t>(topo_->num_links()));
-  for (LinkId l = 0; l < topo_->num_links(); ++l) {
-    capacities_scratch_[static_cast<size_t>(l)] =
-        std::max(0.0, topo_->link(l).capacity * fault_factor_[static_cast<size_t>(l)] -
-                          background_[static_cast<size_t>(l)]);
+  incidence_.BeginEpoch();
+  if (full_realloc_) {
+    // Reference mode: re-solve every component regardless of dirtiness.
+    for (LinkId l = 0; l < topo_->num_links(); ++l) {
+      ReallocateComponent(l);
+    }
+  } else {
+    std::sort(dirty_links_.begin(), dirty_links_.end());
+    for (LinkId l : dirty_links_) {
+      ReallocateComponent(l);
+    }
   }
-  flow_ptrs_scratch_.clear();
-  flow_ptrs_scratch_.reserve(active_.size());
-  for (const auto& f : active_) {
-    flow_ptrs_scratch_.push_back(f.get());
+  for (LinkId l : dirty_links_) {
+    link_dirty_[static_cast<size_t>(l)] = 0;
   }
-  allocator_.Allocate(capacities_scratch_, flow_ptrs_scratch_);
+  dirty_links_.clear();
   rates_dirty_ = false;
+  if (!full_realloc_ && heap_.size() > 1024 && heap_.size() > 8 * (active_.size() + 1)) {
+    CompactHeap();
+  }
   SampleTrackedLinks();
 }
 
-SimTime NetworkSimulator::NextCompletionTime() const {
-  SimTime best = kTimeInfinity;
-  for (const auto& f : active_) {
-    if (f->current_rate > 0.0) {
-      best = std::min(best, now_ + f->remaining / f->current_rate);
-    }
-  }
-  return best;
-}
-
-void NetworkSimulator::Step(SimTime dt) {
-  BDS_CHECK(dt >= 0.0);
-  if (dt == 0.0) {
-    return;
-  }
-  // Transfer bytes.
-  for (const auto& f : active_) {
-    if (f->current_rate <= 0.0) {
+void NetworkSimulator::CompactHeap() {
+  size_t w = 0;
+  for (const CompletionEntry& e : heap_) {
+    auto it = index_.find(e.id);
+    if (it == index_.end() || active_[it->second]->rate_epoch != e.epoch) {
       continue;
     }
-    Bytes moved = std::min(f->remaining, f->current_rate * dt);
-    f->remaining -= moved;
-    for (LinkId l : f->links) {
-      link_bytes_[static_cast<size_t>(l)] += moved;
-    }
+    heap_[w++] = e;
   }
-  now_ += dt;
+  heap_.resize(w);
+  std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+}
 
-  // Collect completions (remaining ~ 0 relative to flow size).
-  std::vector<FlowRecord> done;
-  for (size_t i = 0; i < active_.size();) {
-    Flow& f = *active_[i];
-    if (f.remaining <= kFluidEpsilon * std::max(1.0, f.total_bytes)) {
-      f.remaining = 0.0;
-      f.end_time = now_;
-      done.push_back(FlowRecord{f.id, f.total_bytes, f.start_time, f.end_time, f.tag, f.tag2});
-      index_.erase(f.id);
-      if (i + 1 != active_.size()) {
-        std::swap(active_[i], active_.back());
-        index_[active_[i]->id] = i;
+SimTime NetworkSimulator::NextCompletionTime() {
+  if (full_realloc_) {
+    SimTime best = kTimeInfinity;
+    for (const auto& f : active_) {
+      SimTime k = CompletionKey(*f);
+      if (k < best) {
+        best = k;
       }
-      active_.pop_back();
-      rates_dirty_ = true;
-      // Do not advance i: the swapped-in flow needs a check too.
-    } else {
-      ++i;
+    }
+    return best;
+  }
+  while (!heap_.empty()) {
+    const CompletionEntry& e = heap_.front();
+    auto it = index_.find(e.id);
+    if (it != index_.end() && active_[it->second]->rate_epoch == e.epoch) {
+      return e.key;  // Valid top; leave it for CompleteBatch.
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+  }
+  return kTimeInfinity;
+}
+
+void NetworkSimulator::CompleteBatch(SimTime t) {
+  batch_ids_.clear();
+  if (full_realloc_) {
+    for (const auto& f : active_) {
+      if (CompletionKey(*f) == t) {
+        batch_ids_.push_back(f->id);
+      }
+    }
+  } else {
+    // Every flow with a finite projected completion has exactly one
+    // current-epoch heap entry, so popping the key == t prefix (skipping
+    // stale entries) yields exactly the batch.
+    while (!heap_.empty() && heap_.front().key <= t) {
+      CompletionEntry e = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+      heap_.pop_back();
+      auto it = index_.find(e.id);
+      if (it == index_.end() || active_[it->second]->rate_epoch != e.epoch) {
+        continue;
+      }
+      BDS_CHECK(e.key == t);  // A live completion earlier than now_ is a bug.
+      batch_ids_.push_back(e.id);
     }
   }
-  for (FlowRecord& r : done) {
-    completed_.push_back(r);
-    if (on_complete_) {
+  std::sort(batch_ids_.begin(), batch_ids_.end());
+  BDS_CHECK(!batch_ids_.empty());
+
+  size_t first_record = completed_.size();
+  for (FlowId id : batch_ids_) {
+    auto it = index_.find(id);
+    BDS_CHECK(it != index_.end());
+    size_t pos = it->second;
+    Flow* f = active_[pos].get();
+    f->remaining = 0.0;
+    f->anchor_time = t;
+    f->end_time = t;
+    completed_.push_back(
+        FlowRecord{f->id, f->total_bytes, f->start_time, f->end_time, f->tag, f->tag2});
+    DetachFlow(f);
+    EraseFromActive(pos);
+  }
+  ++num_events_;
+
+  // Callbacks fire after the whole batch is detached, so callback-started
+  // flows can never share an allocation round with the finished batch.
+  if (on_complete_) {
+    size_t last_record = completed_.size();
+    for (size_t i = first_record; i < last_record; ++i) {
+      FlowRecord r = completed_[i];  // Copy: callbacks may grow completed_.
       on_complete_(r);
     }
   }
@@ -228,6 +375,9 @@ Status NetworkSimulator::AdvanceTo(SimTime t) {
   if (t < now_ - kFluidEpsilon) {
     return InvalidArgumentError("AdvanceTo: time went backwards");
   }
+  if (t < now_) {
+    t = now_;  // Within the fluid tolerance: clamp instead of stepping back.
+  }
   // Completion callbacks may start new flows, so the loop is bounded by a
   // generous safeguard rather than the initial flow count.
   constexpr int64_t kMaxEvents = 100'000'000;
@@ -236,11 +386,12 @@ Status NetworkSimulator::AdvanceTo(SimTime t) {
       Reallocate();
     }
     SimTime next = NextCompletionTime();
-    if (next >= t) {
-      Step(t - now_);  // May still complete a flow landing exactly at t.
+    if (next > t) {
+      now_ = t;
       return Status::Ok();
     }
-    Step(next - now_);  // Completes at least one flow.
+    now_ = next;
+    CompleteBatch(next);  // Includes flows landing exactly at t.
   }
   return InternalError("AdvanceTo: event cascade did not terminate");
 }
@@ -256,30 +407,26 @@ StatusOr<SimTime> NetworkSimulator::RunUntilIdle(SimTime deadline) {
     }
     if (next > deadline) {
       BDS_RETURN_IF_ERROR(AdvanceTo(deadline));
+      SampleTrackedLinks();  // Series must end at the actual end time.
       return now_;
     }
-    Step(next - now_);
+    now_ = next;
+    CompleteBatch(next);
   }
+  SampleTrackedLinks();  // Series must end at the actual end time.
   return now_;
 }
 
 Bytes NetworkSimulator::LinkBytesTransferred(LinkId link) const {
   BDS_CHECK(link >= 0 && link < topo_->num_links());
-  return link_bytes_[static_cast<size_t>(link)];
+  size_t li = static_cast<size_t>(link);
+  // link_bytes_ is integrated up to link_integrated_at_; extend to now_.
+  return link_bytes_[li] + link_rate_[li] * (now_ - link_integrated_at_[li]);
 }
 
 Rate NetworkSimulator::LinkBulkRate(LinkId link) const {
   BDS_CHECK(link >= 0 && link < topo_->num_links());
-  Rate sum = 0.0;
-  for (const auto& f : active_) {
-    for (LinkId l : f->links) {
-      if (l == link) {
-        sum += f->current_rate;
-        break;
-      }
-    }
-  }
-  return sum;
+  return link_rate_[static_cast<size_t>(link)];
 }
 
 double NetworkSimulator::LinkUtilization(LinkId link) const {

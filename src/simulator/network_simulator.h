@@ -6,10 +6,31 @@
 // completion callbacks. Background (latency-sensitive) traffic is modelled
 // as a per-link rate that shrinks the capacity available to bulk flows —
 // exactly how BDS's NetworkMonitor sees it (§5.2).
+//
+// Hot-path complexity (see DESIGN.md "Simulator performance"): each event
+// costs O(affected component + log F), not O(F), for F active flows:
+//   * a link->flow incidence index (LinkFlowIndex) finds the flows a change
+//     touches without scanning the active set;
+//   * reallocation is incremental — only the link-connected component(s) of
+//     the incidence graph marked dirty since the last event are re-solved;
+//     untouched flows keep their rates, anchors, and projected completions;
+//   * per-flow progress is lazy: (anchor_time, remaining, current_rate)
+//     describe a flow between rate changes, so advancing time is O(1) per
+//     untouched flow (Flow::RemainingAt materializes on demand);
+//   * the next completion comes from a min-heap of projected completion
+//     times with lazy invalidation keyed on Flow::rate_epoch; completions
+//     sharing one event time are batched into a single reallocation;
+//   * per-link byte counters integrate rate * dt lazily at rate-change
+//     boundaries instead of per flow per event.
+// set_full_reallocation(true) re-solves every component at every event and
+// scans instead of using the heap — the reference path the parity suite
+// (tests/simulator_incremental_parity_test.cc) checks bit-identical results
+// against, and the "reference" config of bench/bench_sim_hotpath.cc.
 
 #ifndef BDS_SRC_SIMULATOR_NETWORK_SIMULATOR_H_
 #define BDS_SRC_SIMULATOR_NETWORK_SIMULATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -20,6 +41,7 @@
 #include "src/common/types.h"
 #include "src/simulator/bandwidth_allocator.h"
 #include "src/simulator/flow.h"
+#include "src/simulator/link_flow_index.h"
 #include "src/topology/topology.h"
 
 namespace bds {
@@ -31,7 +53,7 @@ class NetworkSimulator {
   // --- Flow management. ---
 
   // Starts a flow over `links` carrying `bytes`. pinned_rate == 0 means
-  // fair-share. Returns the flow id.
+  // fair-share. The path must not repeat a link. Returns the flow id.
   StatusOr<FlowId> StartFlow(std::vector<LinkId> links, Bytes bytes, Rate pinned_rate = 0.0,
                              int64_t tag = 0, int64_t tag2 = 0);
 
@@ -42,7 +64,8 @@ class NetworkSimulator {
   // completion fires. Returns bytes that had been delivered.
   StatusOr<Bytes> CancelFlow(FlowId id);
 
-  // nullptr when the flow completed or never existed.
+  // nullptr when the flow completed or never existed. Flow::remaining is as
+  // of Flow::anchor_time — use Flow::RemainingAt(now()) for live progress.
   const Flow* FindFlow(FlowId id) const;
 
   int num_active_flows() const { return static_cast<int>(active_.size()); }
@@ -63,6 +86,7 @@ class NetworkSimulator {
   // Max over links of bulk_rate - usable_bulk_capacity, normalized by the
   // link's nominal capacity; <= ~0 whenever the allocator respects every
   // (possibly faulted) link. Uses the rates of the last reallocation.
+  // 0.0 (no violation) when no link has positive nominal capacity.
   double MaxCapacityViolation() const;
 
   // --- Background (latency-sensitive) traffic. ---
@@ -106,16 +130,68 @@ class NetworkSimulator {
 
   const Topology& topology() const { return *topo_; }
 
+  // --- Hot-path instrumentation / reference mode. ---
+
+  // Full-reallocation reference mode: every event re-solves every component
+  // and the next completion is found by scanning, exactly reproducing what
+  // the incremental path must compute. Must be set before any flow starts.
+  void set_full_reallocation(bool on);
+  bool full_reallocation() const { return full_realloc_; }
+
+  int64_t num_reallocations() const { return num_reallocations_; }
+  int64_t num_completion_events() const { return num_events_; }
+
  private:
+  struct CompletionEntry {
+    SimTime key = 0.0;  // Projected completion time when pushed.
+    FlowId id = kInvalidFlow;
+    uint32_t epoch = 0;  // Flow::rate_epoch at push; stale when it moved on.
+  };
+  struct EntryAfter {
+    // Min-heap comparator; (key, id, epoch) is a strict total order, so pop
+    // order is independent of insertion order.
+    bool operator()(const CompletionEntry& a, const CompletionEntry& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      if (a.id != b.id) return a.id > b.id;
+      return a.epoch > b.epoch;
+    }
+  };
+
+  // Projected completion time of `f` (zero-crossing of remaining bytes);
+  // pure function of the flow's anchor state, so heap entries and scans
+  // compute identical bits.
+  static SimTime CompletionKey(const Flow& f) {
+    return f.current_rate > 0.0 ? f.anchor_time + f.remaining / f.current_rate
+                                : kTimeInfinity;
+  }
+
+  void MarkDirty(LinkId link);
+  // Re-solves dirty components (all components in full mode), updating
+  // anchors, epochs, per-link rates, and the completion heap for every flow
+  // whose rate actually changed.
   void Reallocate();
-  // Earliest completion among active flows; kTimeInfinity when none.
-  SimTime NextCompletionTime() const;
-  // Transfers dt's worth of bytes on every active flow; completes those done.
-  void Step(SimTime dt);
+  void ReallocateComponent(LinkId seed);
+  // Earliest projected completion among active flows; kTimeInfinity if none.
+  SimTime NextCompletionTime();
+  // Completes every flow whose projected completion equals `t` (now_ == t),
+  // fires callbacks after the batch is detached.
+  void CompleteBatch(SimTime t);
+  // Folds rate * dt into link_bytes_ up to now_ (call before changing the
+  // link's aggregate rate).
+  void IntegrateLink(LinkId link);
+  // Drops stale heap entries and re-heapifies (bounds heap growth under
+  // long-running churn).
+  void CompactHeap();
+  // Integrates + removes the flow's rate from its links, marks them dirty,
+  // and drops the flow from the incidence index.
+  void DetachFlow(Flow* f);
+  void EraseFromActive(size_t pos);
   void SampleTrackedLinks();
 
   const Topology* topo_;
   BandwidthAllocator allocator_;
+  LinkFlowIndex incidence_;
+  bool full_realloc_ = false;
 
   SimTime now_ = 0.0;
   FlowId next_flow_id_ = 0;
@@ -124,10 +200,24 @@ class NetworkSimulator {
   std::unordered_map<FlowId, size_t> index_;  // id -> position in active_.
   std::vector<Rate> background_;              // Per link.
   std::vector<double> fault_factor_;          // Per link, 1 = healthy.
+  std::vector<Rate> usable_capacity_;         // max(0, nominal*fault - background).
+  std::vector<Rate> link_rate_;               // Aggregate bulk rate per link.
+  std::vector<SimTime> link_integrated_at_;   // link_bytes_ valid up to here.
   std::vector<Bytes> link_bytes_;             // Per link, cumulative.
-  std::vector<Rate> capacities_scratch_;
-  std::vector<Flow*> flow_ptrs_scratch_;
   bool rates_dirty_ = true;
+
+  std::vector<LinkId> dirty_links_;
+  std::vector<char> link_dirty_;
+
+  std::vector<CompletionEntry> heap_;  // Min-heap via std::push/pop_heap.
+
+  // Reallocation / completion scratch.
+  std::vector<Flow*> comp_flows_;
+  std::vector<Rate> old_rates_;
+  std::vector<FlowId> batch_ids_;
+
+  int64_t num_reallocations_ = 0;
+  int64_t num_events_ = 0;
 
   CompletionCallback on_complete_;
   std::vector<FlowRecord> completed_;

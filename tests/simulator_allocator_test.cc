@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "src/common/types.h"
@@ -132,11 +134,13 @@ TEST(BandwidthAllocatorTest, MixedPinnedAndFairRespectCapacity) {
   EXPECT_NEAR(flows[2].current_rate, 3.0, 1e-9);
 }
 
-// Property: allocations never violate link capacity, for many random cases.
-class AllocatorPropertyTest : public ::testing::TestWithParam<int> {};
+// Deterministic random allocation instance shared by the property tests.
+struct RandomCase {
+  std::vector<Rate> caps;
+  std::vector<Flow> flows;
+};
 
-TEST_P(AllocatorPropertyTest, CapacityNeverViolatedAndWorkConserving) {
-  uint64_t seed = static_cast<uint64_t>(GetParam());
+RandomCase MakeRandomCase(uint64_t seed) {
   // Simple xorshift for test-local determinism.
   auto next = [&]() {
     seed ^= seed << 13;
@@ -144,13 +148,12 @@ TEST_P(AllocatorPropertyTest, CapacityNeverViolatedAndWorkConserving) {
     seed ^= seed << 17;
     return seed;
   };
+  RandomCase rc;
   int num_links = 1 + static_cast<int>(next() % 8);
   int num_flows = 1 + static_cast<int>(next() % 20);
-  std::vector<Rate> caps;
   for (int l = 0; l < num_links; ++l) {
-    caps.push_back(1.0 + static_cast<double>(next() % 100));
+    rc.caps.push_back(1.0 + static_cast<double>(next() % 100));
   }
-  std::vector<Flow> flows;
   for (int f = 0; f < num_flows; ++f) {
     std::vector<LinkId> links;
     int n = 1 + static_cast<int>(next() % 3);
@@ -167,8 +170,18 @@ TEST_P(AllocatorPropertyTest, CapacityNeverViolatedAndWorkConserving) {
       }
     }
     double pinned = (next() % 3 == 0) ? 1.0 + static_cast<double>(next() % 50) : 0.0;
-    flows.push_back(MakeFlow(f, links, pinned));
+    rc.flows.push_back(MakeFlow(f, links, pinned));
   }
+  return rc;
+}
+
+// Property: allocations never violate link capacity, for many random cases.
+class AllocatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorPropertyTest, CapacityNeverViolatedAndWorkConserving) {
+  RandomCase rc = MakeRandomCase(static_cast<uint64_t>(GetParam()));
+  std::vector<Rate>& caps = rc.caps;
+  std::vector<Flow>& flows = rc.flows;
   auto ptrs = Ptrs(flows);
   BandwidthAllocator alloc;
   alloc.Allocate(caps, ptrs);
@@ -199,6 +212,25 @@ TEST_P(AllocatorPropertyTest, CapacityNeverViolatedAndWorkConserving) {
       }
     }
     EXPECT_TRUE(bottlenecked) << "fair flow " << f.id << " is not at a bottleneck";
+  }
+}
+
+// Property: the component-decomposed solver agrees with the retained global
+// reference solver. Rates are mathematically equal; arithmetically they may
+// differ by reassociated fill increments, so compare to 1e-9 relative.
+TEST_P(AllocatorPropertyTest, ComponentDecompositionMatchesReference) {
+  RandomCase decomposed = MakeRandomCase(static_cast<uint64_t>(GetParam()));
+  RandomCase reference = MakeRandomCase(static_cast<uint64_t>(GetParam()));
+  auto dptrs = Ptrs(decomposed.flows);
+  auto rptrs = Ptrs(reference.flows);
+  BandwidthAllocator alloc;
+  alloc.Allocate(decomposed.caps, dptrs);
+  alloc.AllocateReference(reference.caps, rptrs);
+  ASSERT_EQ(decomposed.flows.size(), reference.flows.size());
+  for (size_t i = 0; i < decomposed.flows.size(); ++i) {
+    double ref = reference.flows[i].current_rate;
+    double tol = 1e-9 * std::max(1.0, std::abs(ref));
+    EXPECT_NEAR(decomposed.flows[i].current_rate, ref, tol) << "flow " << i;
   }
 }
 

@@ -150,6 +150,70 @@ TEST(NetworkSimulatorTest, AdvanceToRejectsPast) {
   EXPECT_FALSE(sim.AdvanceTo(4.0).ok());
 }
 
+TEST(NetworkSimulatorTest, AdvanceToWithinEpsilonOfPastClampsToNow) {
+  SimpleNet net = MakeSimpleNet(10e6);
+  NetworkSimulator sim(&net.topo);
+  ASSERT_TRUE(sim.StartFlow(net.path, 100e6).ok());
+  ASSERT_TRUE(sim.AdvanceTo(5.0).ok());
+  // A target inside (now - kFluidEpsilon, now) is legal (it is not
+  // "backwards" under the fluid tolerance) and must act as a zero-length
+  // step; it used to trip a negative-dt check and abort.
+  ASSERT_TRUE(sim.AdvanceTo(5.0 - 0.5 * kFluidEpsilon).ok());
+  EXPECT_EQ(sim.now(), 5.0);
+  auto end = sim.RunUntilIdle();
+  ASSERT_TRUE(end.ok());
+  EXPECT_NEAR(*end, 10.0, 1e-6);
+}
+
+TEST(NetworkSimulatorTest, RejectsPathThatRepeatsALink) {
+  SimpleNet net = MakeSimpleNet();
+  NetworkSimulator sim(&net.topo);
+  EXPECT_FALSE(sim.StartFlow({net.path[0], net.path[1], net.path[0]}, 10.0).ok());
+}
+
+TEST(NetworkSimulatorTest, MaxCapacityViolationIsZeroWithoutCapacity) {
+  // No link has positive capacity -> nothing can be violated; must be 0,
+  // not -infinity.
+  Topology topo;
+  topo.AddDatacenter("a");
+  NetworkSimulator sim(&topo);
+  EXPECT_EQ(sim.MaxCapacityViolation(), 0.0);
+
+  // Sanity: with real capacity and no traffic the violation is negative.
+  SimpleNet net = MakeSimpleNet(10e6);
+  NetworkSimulator sim2(&net.topo);
+  EXPECT_LT(sim2.MaxCapacityViolation(), 0.0);
+  EXPECT_GT(sim2.MaxCapacityViolation(), -2.0);
+}
+
+TEST(NetworkSimulatorTest, TrackedSeriesEndsAtFinalTime) {
+  SimpleNet net = MakeSimpleNet(10e6);
+  NetworkSimulator sim(&net.topo);
+  sim.TrackLinkUtilization(net.path[1]);
+  ASSERT_TRUE(sim.StartFlow(net.path, 20e6).ok());
+  auto end = sim.RunUntilIdle();
+  ASSERT_TRUE(end.ok());
+  const TimeSeries* series = sim.LinkUtilizationSeries(net.path[1]);
+  ASSERT_NE(series, nullptr);
+  ASSERT_FALSE(series->empty());
+  // The series must close at the actual end of the run, showing the link
+  // back at zero bulk utilization.
+  EXPECT_EQ(series->points().back().t, *end);
+  EXPECT_NEAR(series->points().back().value, 0.0, 1e-9);
+
+  // Deadline-bounded runs close the series at the deadline too.
+  NetworkSimulator sim2(&net.topo);
+  sim2.TrackLinkUtilization(net.path[1]);
+  ASSERT_TRUE(sim2.StartFlow(net.path, 100e6).ok());
+  auto cut = sim2.RunUntilIdle(/*deadline=*/3.0);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_NEAR(*cut, 3.0, 1e-9);
+  const TimeSeries* series2 = sim2.LinkUtilizationSeries(net.path[1]);
+  ASSERT_NE(series2, nullptr);
+  ASSERT_FALSE(series2->empty());
+  EXPECT_EQ(series2->points().back().t, *cut);
+}
+
 TEST(NetworkSimulatorTest, LinkAccountingTracksBytes) {
   SimpleNet net = MakeSimpleNet(10e6);
   NetworkSimulator sim(&net.topo);

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the controller decision benchmark.
+"""Perf-regression gate for the committed benchmark baselines.
 
-Compares a fresh run of ``bench_fig11_scalability`` against the committed
-baseline (``BENCH_controller.json`` at the repo root) and fails when an
+Compares a fresh run of a sweep benchmark (``bench_fig11_scalability``,
+``bench_sim_hotpath``) against its committed baseline JSON at the repo root
+(``BENCH_controller.json``, ``BENCH_simulator.json``) and fails when an
 optimization config regressed by more than the threshold (25% by default).
+The two files must carry the same ``benchmark`` name.
 
 The comparison is *config-relative*, not absolute: for every (point, config)
-the metric is ``seconds[config] / seconds["baseline"]`` within the same JSON
-file — how much faster than the knobs-off build that config is. Absolute
+the metric is ``seconds[config] / seconds[reference_config]`` within the same
+JSON file — how much faster than the knobs-off build that config is. Absolute
 wall-clock differs run to run with machine load (we observe ±25% on shared
 runners), but the within-run ratio between two configs timed back-to-back in
 the same process is stable. A real regression — an optimization losing its
@@ -29,8 +31,9 @@ import sys
 import tempfile
 
 DEFAULT_THRESHOLD = 0.25
-# The knobs-off reference config every other config is normalized by.
-REFERENCE_CONFIG = "baseline"
+# The knobs-off config every other config is normalized by, when the JSON
+# does not name one via its "reference_config" field.
+DEFAULT_REFERENCE_CONFIG = "baseline"
 # Only gate (point, config) pairs whose committed relative time shows the
 # optimization had a *strong* edge there (e.g. the all-knobs config and the
 # incremental FPTAS, at ~0.4-0.6x of the reference). A config near 1.0x of
@@ -46,21 +49,37 @@ EDGE_CUTOFF = 0.7
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    if data.get("benchmark") != "controller_decision":
-        raise SystemExit(f"{path}: not a controller_decision benchmark file")
+    if not data.get("benchmark"):
+        raise SystemExit(f"{path}: missing 'benchmark' name")
+    if not data.get("points"):
+        raise SystemExit(f"{path}: no sweep points")
     return data
 
 
+def reference_config(data):
+    return data.get("reference_config", DEFAULT_REFERENCE_CONFIG)
+
+
+def point_size(point):
+    """The sweep axis: 'blocks' for the controller bench, 'flows' for the
+    simulator bench."""
+    size = point.get("blocks", point.get("flows"))
+    if size is None:
+        raise SystemExit(f"point {point}: no 'blocks'/'flows' size key")
+    return size
+
+
 def relative_times(data, key):
-    """{(blocks, config): t[config] / t[REFERENCE_CONFIG]} for time field `key`."""
+    """{(size, config): t[config] / t[reference]} for time field `key`."""
+    ref_config = reference_config(data)
     out = {}
     for point in data["points"]:
         seconds = point[key]
-        ref = seconds.get(REFERENCE_CONFIG)
+        ref = seconds.get(ref_config)
         if not ref or ref <= 0:
-            raise SystemExit(f"point {point['blocks']}: missing '{REFERENCE_CONFIG}' time")
+            raise SystemExit(f"point {point_size(point)}: missing '{ref_config}' time")
         for config, secs in seconds.items():
-            out[(point["blocks"], config)] = secs / ref
+            out[(point_size(point), config)] = secs / ref
     return out
 
 
@@ -73,7 +92,7 @@ def time_field(*datas):
 
 
 def run_bench(bench, smoke):
-    fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_controller_")
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_fresh_")
     os.close(fd)
     # --sweep-only keeps the full point set but skips the google-benchmark
     # section, so a regenerated baseline is timed under the same process
@@ -112,8 +131,13 @@ def main():
 
     baseline_data = load(args.baseline)
     fresh_data = load(fresh_path)
+    if baseline_data["benchmark"] != fresh_data["benchmark"]:
+        raise SystemExit(f"benchmark mismatch: baseline is "
+                         f"'{baseline_data['benchmark']}', fresh run is "
+                         f"'{fresh_data['benchmark']}'")
+    ref_config = reference_config(baseline_data)
     field = time_field(baseline_data, fresh_data)
-    print(f"comparing '{field}' ratios vs '{REFERENCE_CONFIG}'")
+    print(f"comparing '{field}' ratios vs '{ref_config}'")
     committed = relative_times(baseline_data, field)
     fresh = relative_times(fresh_data, field)
 
@@ -122,9 +146,9 @@ def main():
     # optimization breaking or losing its edge — moves every point's ratio
     # toward 1.0 at once; single-point excursions are measurement noise.
     per_config = {}
-    print(f"{'blocks':>10}  {'config':>20}  {'committed':>9}  {'fresh':>9}  {'delta':>7}")
+    print(f"{'size':>10}  {'config':>20}  {'committed':>9}  {'fresh':>9}  {'delta':>7}")
     for key in sorted(fresh):
-        if key not in committed or key[1] == REFERENCE_CONFIG:
+        if key not in committed or key[1] == ref_config:
             continue
         was, now = committed[key], fresh[key]
         print(f"{key[0]:>10}  {key[1]:>20}  {was:>9.3f}  {now:>9.3f}  {now / was - 1.0:>+6.1%}")
@@ -158,7 +182,7 @@ def main():
         return 2
     if failures:
         print(f"\n{len(failures)} regression(s) beyond {args.threshold:.0%} "
-              f"(median config-relative time vs '{REFERENCE_CONFIG}'):", file=sys.stderr)
+              f"(median config-relative time vs '{ref_config}'):", file=sys.stderr)
         for config, was, now, delta in failures:
             print(f"  {config}: {was:.3f} -> {now:.3f} ({delta:+.1%})", file=sys.stderr)
         return 1
