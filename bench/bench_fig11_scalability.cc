@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/telemetry/metrics.h"
 #include "src/control/monitors.h"
 #include "src/core/service.h"
 #include "src/scheduler/controller_algorithm.h"
@@ -226,6 +227,10 @@ void WriteSweepJson(const std::vector<SweepPoint>& points, bool smoke,
   BDS_CHECK_MSG(f != nullptr, "cannot open --json output path");
   std::fprintf(f, "{\n  \"benchmark\": \"controller_decision\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  // The bench must time the telemetry-off fast path; the regression check
+  // fails any JSON stamped with telemetry on.
+  std::fprintf(f, "  \"telemetry_enabled\": %s,\n",
+               bds::telemetry::Enabled() ? "true" : "false");
   std::fprintf(f, "  \"configs\": [");
   for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
     std::fprintf(f, "%s\"%s\"", ci == 0 ? "" : ", ", kSweepConfigs[ci].name);

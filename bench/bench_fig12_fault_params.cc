@@ -170,7 +170,8 @@ void LinkFaultReplan() {
   }
   table.Print();
   std::printf("transfers killed by the link-down: %lld; worst link overshoot: %.2e\n",
-              static_cast<long long>(report->faults.flows_killed), report->max_link_overshoot);
+              static_cast<long long>(report->faults.flows_killed),
+              report->max_link_overshoot.value_or(-1.0));
   std::printf("shape check: deliveries continue through the outage (surviving paths carry "
               "the re-planned transfers) and no link ever exceeds its faulted capacity\n");
 }
@@ -194,7 +195,8 @@ void ChaosSoak() {
     auto report = service->Run(Hours(2.0));
     BDS_CHECK(report.ok());
     BDS_CHECK(report->completed);
-    BDS_CHECK(report->max_link_overshoot <= 1e-4);
+    BDS_CHECK(report->max_link_overshoot.has_value());
+    BDS_CHECK(*report->max_link_overshoot <= 1e-4);
     const ReplicaState& state = service->mutable_controller()->state();
     BDS_CHECK(state.total_credited() == 200 * 3);  // 400 MB / 2 MB x 3 dest DCs.
     char fp[20];

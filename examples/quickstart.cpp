@@ -2,6 +2,11 @@
 // DCs over a small geo-distributed deployment, and print what happened.
 //
 //   ./quickstart [--dcs N] [--servers N] [--size-gb X] [--cycle S] [--verbose]
+//               [--trace-json PATH] [--summary-jsonl PATH]
+//
+// With --trace-json the run is recorded and exported as Chrome trace_event
+// JSON — open it in chrome://tracing or https://ui.perfetto.dev, or validate
+// and summarise it with tools/trace_summary.py.
 
 #include <algorithm>
 #include <cstdio>
@@ -11,6 +16,7 @@
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/core/bds.h"
+#include "src/telemetry/telemetry.h"
 
 int main(int argc, char** argv) {
   int dcs = 5;
@@ -18,6 +24,8 @@ int main(int argc, char** argv) {
   double size_gb = 2.0;
   double cycle = 3.0;
   bool verbose = false;
+  std::string trace_json;
+  std::string summary_jsonl;
 
   bds::FlagParser flags;
   flags.AddInt("dcs", &dcs, "number of datacenters (>= 2)");
@@ -25,11 +33,19 @@ int main(int argc, char** argv) {
   flags.AddDouble("size-gb", &size_gb, "bulk data size in GB");
   flags.AddDouble("cycle", &cycle, "controller update cycle in seconds");
   flags.AddBool("verbose", &verbose, "enable info logging");
+  flags.AddString("trace-json", &trace_json, "write a Chrome trace_event JSON file here");
+  flags.AddString("summary-jsonl", &summary_jsonl, "write a JSONL metrics summary here");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
   if (verbose) {
     bds::SetLogLevel(bds::LogLevel::kInfo);
+  }
+  const bool tracing = !trace_json.empty() || !summary_jsonl.empty();
+  if (tracing) {
+    // Turns on the metrics registry too; the run's counters and latency
+    // histograms land on RunReport::telemetry.
+    bds::telemetry::TraceRecorder::Global().Start();
   }
 
   // 1. Describe the infrastructure. BuildGeoTopology gives a Baidu-like
@@ -86,6 +102,31 @@ int main(int argc, char** argv) {
     std::printf("Controller feedback loop: median %.0f ms, p90 %.0f ms\n",
                 report->feedback_delays.Quantile(0.5) * 1e3,
                 report->feedback_delays.Quantile(0.9) * 1e3);
+  }
+
+  if (tracing) {
+    auto& recorder = bds::telemetry::TraceRecorder::Global();
+    recorder.Stop();
+    if (!trace_json.empty()) {
+      auto status = recorder.WriteChromeTrace(trace_json);
+      if (!status.ok()) {
+        std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("Wrote %zu trace events (%zu dropped) to %s\n", recorder.size(),
+                  recorder.dropped(), trace_json.c_str());
+    }
+    if (!summary_jsonl.empty()) {
+      auto status = recorder.WriteRunSummary(summary_jsonl, report->telemetry);
+      if (!status.ok()) {
+        std::fprintf(stderr, "summary: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("Wrote metrics summary to %s\n", summary_jsonl.c_str());
+    }
+    if (verbose) {
+      std::printf("%s", report->telemetry.ToString().c_str());
+    }
   }
   return report->completed ? 0 : 2;
 }

@@ -1,14 +1,30 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace bds {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 std::atomic<int64_t> g_count{0};
+std::atomic<bool> g_timestamps{false};
+
+// Sink is cold-path state: only touched when a message actually clears the
+// level threshold, so a mutex is fine.
+std::mutex& SinkMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -30,23 +46,86 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
+bool ParseLogLevel(const char* text, LogLevel* out) {
+  if (text == nullptr || *text == '\0') return false;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else if (lower == "none" || lower == "off" || lower == "4") {
+    *out = LogLevel::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Runs InitLogLevelFromEnv once before main() so BDS_LOG_LEVEL=debug works
+// without any code change in the binary being debugged.
+[[maybe_unused]] const bool g_env_init_done = InitLogLevelFromEnv();
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 int64_t LogMessageCount() { return g_count.load(std::memory_order_relaxed); }
 
+bool InitLogLevelFromEnv() {
+  const char* value = std::getenv("BDS_LOG_LEVEL");
+  LogLevel level;
+  if (!ParseLogLevel(value, &level)) return false;
+  SetLogLevel(level);
+  return true;
+}
+
+void SetLogTimestamps(bool enabled) { g_timestamps.store(enabled, std::memory_order_relaxed); }
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
 namespace log_internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
-}
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   g_count.fetch_add(1, std::memory_order_relaxed);
-  std::string text = stream_.str();
+  std::ostringstream line;
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+#if defined(_WIN32)
+    localtime_s(&tm_buf, &now);
+#else
+    localtime_r(&now, &tm_buf);
+#endif
+    char stamp[32];
+    if (std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M:%S", &tm_buf) > 0) {
+      line << stamp << " ";
+    }
+  }
+  line << "[" << LevelTag(level_) << " " << Basename(file_) << ":" << line_ << "] "
+       << stream_.str();
+  std::string text = line.str();
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    LogSink& sink = SinkSlot();
+    if (sink) {
+      sink(level_, text);
+      return;
+    }
+  }
   std::fprintf(stderr, "%s\n", text.c_str());
-  (void)level_;
 }
 
 }  // namespace log_internal

@@ -2,13 +2,19 @@
 //
 // Usage:
 //   BDS_LOG(INFO) << "controller cycle " << k << " finished";
+//   BDS_LOG_EVERY_N(WARNING, 100) << "allocator retried";  // 1st, 101st, ...
 //
 // The global threshold defaults to kWarning so that library users (tests,
-// benches) are not flooded; examples raise it explicitly.
+// benches) are not flooded; examples raise it explicitly, and the BDS_LOG_LEVEL
+// environment variable ("debug", "info", "warning", "error", "none", or 0-4)
+// overrides the default at process start.
 
 #ifndef BDS_SRC_COMMON_LOGGING_H_
 #define BDS_SRC_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -25,6 +31,23 @@ enum class LogLevel : int {
 // Process-wide minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Applies the BDS_LOG_LEVEL environment variable (if set) to the global
+// threshold. Runs automatically at process start; public so tests can
+// re-apply it after changing the level. Returns true when the variable was
+// present and parsed.
+bool InitLogLevelFromEnv();
+
+// Prefix every message with a wall-clock timestamp (off by default: the
+// deterministic tests diff stderr output).
+void SetLogTimestamps(bool enabled);
+
+// Redirects emitted messages to `sink` instead of stderr; pass nullptr to
+// restore stderr. The sink receives the fully formatted line (no trailing
+// newline). LogMessageCount() still counts every emitted message, so tests
+// can either capture text via a sink or just count.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+void SetLogSink(LogSink sink);
 
 // Number of messages emitted since process start (testing hook).
 int64_t LogMessageCount();
@@ -43,6 +66,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -54,6 +79,14 @@ class NullStream {
     return *this;
   }
 };
+
+// True on the 1st, (n+1)th, (2n+1)th, ... call for this site's counter
+// (n <= 1 always logs). Relaxed: exact interleaving under races is not worth
+// a barrier for a log-rate limiter.
+inline bool ShouldLogEveryN(std::atomic<int64_t>* counter, int64_t n) {
+  int64_t seen = counter->fetch_add(1, std::memory_order_relaxed);
+  return n <= 1 || seen % n == 0;
+}
 
 }  // namespace log_internal
 
@@ -77,6 +110,21 @@ struct Voidify {
             ::bds::log_internal::LogMessage(::bds::log_internal::kLevel_##severity,         \
                                             __FILE__, __LINE__)                             \
                 .stream()
+
+// Rate-limited logging: emits on the 1st, (n+1)th, (2n+1)th, ... execution
+// of this statement. Occurrences are counted per call site whether or not
+// the severity passes the threshold. Declares a static, so use it as a
+// statement (inside braces when under an `if`/`else`).
+#define BDS_LOG_EVERY_N_IMPL(severity, n, counter)                                          \
+  static ::std::atomic<int64_t> counter{0};                                                 \
+  if (!::bds::log_internal::ShouldLogEveryN(&counter, (n))) {                               \
+  } else                                                                                    \
+    BDS_LOG(severity)
+
+#define BDS_LOG_CONCAT_(a, b) a##b
+#define BDS_LOG_CONCAT(a, b) BDS_LOG_CONCAT_(a, b)
+#define BDS_LOG_EVERY_N(severity, n) \
+  BDS_LOG_EVERY_N_IMPL(severity, n, BDS_LOG_CONCAT(bds_log_every_n_counter_, __COUNTER__))
 
 }  // namespace bds
 

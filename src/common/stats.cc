@@ -59,6 +59,27 @@ void EmpiricalDistribution::AddAll(const std::vector<double>& xs) {
   sorted_ = false;
 }
 
+void EmpiricalDistribution::Merge(const EmpiricalDistribution& other) {
+  if (other.samples_.empty()) {
+    return;
+  }
+  if (&other == this) {
+    // Self-merge: duplicate every sample. Copy first — inserting a vector's
+    // own range into itself invalidates the source iterators on growth.
+    std::vector<double> copy = samples_;
+    samples_.insert(samples_.end(), copy.begin(), copy.end());
+    sorted_ = false;
+    return;
+  }
+  if (samples_.empty()) {
+    samples_ = other.samples_;
+    sorted_ = other.sorted_;
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
 void EmpiricalDistribution::EnsureSorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
@@ -149,6 +170,25 @@ void Histogram::Add(double x) {
   bin = std::clamp(bin, 0, static_cast<int>(counts_.size()) - 1);
   ++counts_[static_cast<size_t>(bin)];
   ++total_;
+}
+
+void Histogram::AddCount(int bin, int64_t n) {
+  BDS_CHECK(bin >= 0 && bin < bins());
+  counts_[static_cast<size_t>(bin)] += n;
+  total_ += n;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  BDS_CHECK(other.lo_ == lo_ && other.hi_ == hi_ && other.bins() == bins());
+  if (other.total_ == 0) {
+    return;
+  }
+  // Self-merge doubles every bin; reading counts_ while writing it is safe
+  // here because the sizes match and we only do element-wise +=.
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
 }
 
 int64_t Histogram::BinCount(int bin) const {

@@ -38,6 +38,10 @@ class EmpiricalDistribution {
  public:
   void Add(double x);
   void AddAll(const std::vector<double>& xs);
+  // Pools another distribution's samples into this one (sample union, same
+  // result as adding every sample individually). Mirrors RunningStats::Merge:
+  // merging an empty distribution is a no-op, self-merge doubles the sample.
+  void Merge(const EmpiricalDistribution& other);
 
   int64_t count() const { return static_cast<int64_t>(samples_.size()); }
   bool empty() const { return samples_.empty(); }
@@ -76,11 +80,22 @@ class Histogram {
   Histogram(double lo, double hi, int bins);
 
   void Add(double x);
+  // Bulk insert into a bin by index (n may be negative when building a diff;
+  // counts never go below zero by construction of the callers). Used by the
+  // telemetry registry to rebuild histograms from per-thread shard counts.
+  void AddCount(int bin, int64_t n);
+  // Adds another histogram's counts bin-by-bin. Both histograms must have
+  // identical [lo, hi) range and bin count. Mirrors RunningStats::Merge:
+  // merging an empty histogram is a no-op, self-merge doubles every bin.
+  void Merge(const Histogram& other);
+
   int64_t BinCount(int bin) const;
   double BinLow(int bin) const;
   double BinHigh(int bin) const;
   int bins() const { return static_cast<int>(counts_.size()); }
   int64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
 
   std::string ToString(int width = 40) const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/telemetry/telemetry.h"
+
 namespace bds {
 
 std::vector<double> RunReport::ServerCompletionMinutes() const {
@@ -86,7 +88,11 @@ uint64_t RunReport::Fingerprint() const {
   d.Mix(static_cast<uint64_t>(faults.pushes_dropped));
   d.Mix(static_cast<uint64_t>(faults.pushes_escalated));
   d.Mix(static_cast<uint64_t>(faults.blocks_corrupted));
-  d.MixDouble(max_link_overshoot);
+  // Mix presence separately from the value so "not measured" and a measured
+  // 0.0 stay distinguishable. The telemetry snapshot is deliberately NOT
+  // mixed: it contains wall-clock latency histograms.
+  d.Mix(max_link_overshoot.has_value() ? 1 : 0);
+  d.MixDouble(max_link_overshoot.value_or(0.0));
   return d.h;
 }
 
@@ -286,6 +292,8 @@ void BdsController::ApplyLinkFaults(SimTime now) {
   for (const LinkFaultEvent& e : fault_.TakeLinkEventsUpTo(now)) {
     Status s = sim_.SetLinkFaultFactor(e.link, e.factor);
     BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
+    telemetry::TraceInstant("fault.link", "fault",
+                            {{"link", static_cast<double>(e.link)}, {"factor", e.factor}});
     // Conservative: any fault event may change which routes are usable, so
     // drop the cached overlay-path skeletons. Rebuild is a handful of small
     // copies per active DC pair — cheap next to re-planning the transfers.
@@ -314,6 +322,7 @@ void BdsController::ApplyLinkFaults(SimTime now) {
     }
     fault_.mutable_stats().flows_killed +=
         static_cast<int64_t>(doomed.size()) + fallback_.HandleLinkFault(e.link);
+    BDS_TELEMETRY_COUNT("fault.flows_killed", static_cast<int64_t>(doomed.size()));
   }
 }
 
@@ -358,6 +367,7 @@ void BdsController::CancelAndCredit(int64_t tag) {
   }
   CtrlTransfer t = std::move(it->second);
   transfers_.erase(it);
+  BDS_TELEMETRY_COUNT("controller.transfers_cancelled", 1);
   auto delivered = sim_.CancelFlow(t.flow);
   Bytes delivered_bytes = delivered.ok() ? *delivered : 0.0;
   Bytes per_block = t.assignment.bytes / static_cast<double>(t.assignment.blocks.size());
@@ -450,6 +460,8 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
   // so the worst case is a redundant transfer that NoteDelivery ignores.
   const ReplicaState& sched_state = view_ != nullptr ? *view_ : state_;
   CycleDecision decision = algorithm_.Decide(stats.cycle, sched_state, residual, in_flight_);
+  BDS_TELEMETRY_COUNT("controller.blocks_scheduled", decision.scheduled_blocks);
+  BDS_TELEMETRY_COUNT("controller.merged_subtasks", decision.merged_subtasks);
   stats.scheduled_blocks = decision.scheduled_blocks;
   stats.merged_subtasks = decision.merged_subtasks;
   stats.scheduling_seconds = decision.scheduling_seconds;
@@ -500,6 +512,7 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     transfers_.emplace(tag, CtrlTransfer{std::move(a), dest_dc, *flow});
     ++stats.transfers_started;
   }
+  BDS_TELEMETRY_COUNT("controller.transfers_started", stats.transfers_started);
   return lead;
 }
 
@@ -549,6 +562,13 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
   // Hard stop: generous bound so that a wedged configuration cannot spin.
   const int64_t max_cycles = 10'000'000;
 
+  // Scope the report's telemetry to this run: everything before Run() (other
+  // runs in the same process, registration warm-up) is subtracted out.
+  telemetry::MetricsSnapshot telemetry_at_entry;
+  if (telemetry::Enabled()) {
+    telemetry_at_entry = telemetry::MetricsRegistry::Global().Snapshot();
+  }
+
   if (fault_.stale_reports_enabled() && view_ == nullptr) {
     // Jobs submitted before Run() register inside the loop, so a view
     // created here sees every job. The view starts identical to ground
@@ -561,6 +581,7 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
     if (now >= deadline - kFluidEpsilon) {
       break;
     }
+    BDS_TIMED_SCOPE("controller.cycle");
     RegisterArrivals(now);
     ApplyFailures(now);
     ApplyLinkFaults(now);
@@ -590,9 +611,18 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
     BDS_RETURN_IF_ERROR(sim_.AdvanceBy(std::max(0.0, std::min(dt, deadline - now) - lead)));
     stats.blocks_delivered = deliveries_this_cycle_;
     if (options_.validate_invariants) {
+      double overshoot = sim_.MaxCapacityViolation();
       report.max_link_overshoot =
-          std::max(report.max_link_overshoot, sim_.MaxCapacityViolation());
+          std::max(report.max_link_overshoot.value_or(overshoot), overshoot);
     }
+    BDS_TELEMETRY_COUNT("controller.cycles", 1);
+    BDS_TELEMETRY_COUNT("controller.blocks_delivered", stats.blocks_delivered);
+    telemetry::TraceInstant(
+        "controller.cycle.stats", "controller",
+        {{"cycle", static_cast<double>(stats.cycle)},
+         {"scheduled_blocks", static_cast<double>(stats.scheduled_blocks)},
+         {"transfers_started", static_cast<double>(stats.transfers_started)},
+         {"blocks_delivered", static_cast<double>(stats.blocks_delivered)}});
     report.cycles.push_back(stats);
     ++cycle;
 
@@ -644,6 +674,10 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
   std::sort(report.server_completion.begin(), report.server_completion.end());
   report.dc_completion = std::move(dc_latest);
   report.completion_time = report.completed ? latest : sim_.now();
+  if (telemetry::Enabled()) {
+    report.telemetry =
+        telemetry::MetricsRegistry::Global().Snapshot().DiffSince(telemetry_at_entry);
+  }
   return report;
 }
 

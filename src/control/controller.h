@@ -24,6 +24,7 @@
 #define BDS_SRC_CONTROL_CONTROLLER_H_
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "src/scheduler/controller_algorithm.h"
 #include "src/scheduler/replica_state.h"
 #include "src/simulator/network_simulator.h"
+#include "src/telemetry/metrics.h"
 #include "src/topology/routing.h"
 #include "src/topology/topology.h"
 #include "src/workload/background_traffic.h"
@@ -100,8 +102,15 @@ struct RunReport {
   FaultStats faults;                      // Injected-fault counters.
   // Worst (bulk_rate - usable_capacity) / nominal_capacity observed at any
   // cycle boundary; <= ~0 means no link ever exceeded its (possibly faulted)
-  // capacity. Only filled with ControllerOptions::validate_invariants.
-  double max_link_overshoot = -1.0;
+  // capacity. Engaged only when ControllerOptions::validate_invariants was
+  // on — nullopt means "not measured", which previous versions conflated
+  // with a -1.0 sentinel that consumers could mistake for "no overshoot".
+  std::optional<double> max_link_overshoot;
+  // What the run changed in the telemetry registry (counters, gauges,
+  // latency histograms) between Run() entry and exit. Empty unless
+  // telemetry::Enabled() was set. Excluded from Fingerprint(): metrics carry
+  // wall-clock-derived values and must never affect determinism checks.
+  telemetry::MetricsSnapshot telemetry;
 
   std::vector<double> ServerCompletionMinutes() const;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/telemetry/telemetry.h"
+
 namespace bds {
 
 Status FaultInjector::ValidateLink(const Topology& topo, LinkId link, SimTime from,
@@ -104,6 +106,7 @@ std::vector<LinkFaultEvent> FaultInjector::TakeLinkEventsUpTo(SimTime now) {
     ++next_event_;
   }
   stats_.link_events += static_cast<int64_t>(due.size());
+  BDS_TELEMETRY_COUNT("fault.link_events", static_cast<int64_t>(due.size()));
   return due;
 }
 
@@ -119,11 +122,13 @@ bool FaultInjector::DrawReportLost(DcId dc) {
   if (misses + 1 >= control_.report_timeout_cycles) {
     // Out-of-band reconciliation: staleness is bounded even at loss prob 1.
     ++stats_.reports_forced;
+    BDS_TELEMETRY_COUNT("fault.reports_forced", 1);
     misses = 0;
     return false;
   }
   ++misses;
   ++stats_.reports_lost;
+  BDS_TELEMETRY_COUNT("fault.reports_lost", 1);
   return true;
 }
 
@@ -140,11 +145,13 @@ bool FaultInjector::DrawPushDropped(ServerId server) {
     // The agent's retry/backoff ran out; it escalates to the §5.3 fallback
     // path and pulls the decision out-of-band — the push goes through.
     ++stats_.pushes_escalated;
+    BDS_TELEMETRY_COUNT("fault.pushes_escalated", 1);
     misses = 0;
     return false;
   }
   ++misses;
   ++stats_.pushes_dropped;
+  BDS_TELEMETRY_COUNT("fault.pushes_dropped", 1);
   return true;
 }
 
@@ -160,6 +167,7 @@ bool FaultInjector::DrawBlockCorrupted() {
   }
   if (rng_.Bernoulli(data_.corruption_prob)) {
     ++stats_.blocks_corrupted;
+    BDS_TELEMETRY_COUNT("fault.blocks_corrupted", 1);
     return true;
   }
   return false;

@@ -8,6 +8,7 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/lp/lp_problem.h"
+#include "src/telemetry/telemetry.h"
 
 namespace bds {
 
@@ -239,6 +240,7 @@ double FptasDelta(const FlatMcf& flat, double epsilon) {
 
 McfResult SolveMcfFptasReference(const McfInstance& instance, double epsilon) {
   BDS_CHECK_MSG(epsilon > 0.0 && epsilon <= 0.5, "epsilon must be in (0, 0.5]");
+  BDS_TIMED_SCOPE("fptas.reference");
   McfResult result = MakeEmptyFptasResult(instance);
   const FlatMcf flat = FlattenMcf(instance);
   const std::vector<double>& cap = flat.cap;
@@ -272,8 +274,10 @@ McfResult SolveMcfFptasReference(const McfInstance& instance, double epsilon) {
   // path reaches 1 the algorithm stops.
   const int64_t max_pushes = MaxPushes(flat, epsilon, delta);
   int64_t pushes = 0;
+  int64_t phases = 0;
   double alpha = delta * static_cast<double>(flat.max_len);
   while (alpha < 1.0 && pushes < max_pushes) {
+    ++phases;
     double threshold = std::min(1.0, alpha * (1.0 + epsilon));
     for (size_t c = 0; c < flat.commodity_paths.size() && pushes < max_pushes; ++c) {
       for (;;) {
@@ -308,12 +312,21 @@ McfResult SolveMcfFptasReference(const McfInstance& instance, double epsilon) {
     alpha *= 1.0 + epsilon;
   }
 
+  BDS_TELEMETRY_COUNT("fptas.reference.solves", 1);
+  BDS_TELEMETRY_COUNT("fptas.reference.pushes", pushes);
+  BDS_TELEMETRY_COUNT("fptas.reference.phases", phases);
+  telemetry::TraceInstant("fptas.reference", "lp",
+                          {{"commodities", static_cast<double>(flat.commodity_paths.size())},
+                           {"paths", static_cast<double>(paths.size())},
+                           {"pushes", static_cast<double>(pushes)},
+                           {"phases", static_cast<double>(phases)}});
   FinalizeFptas(flat, epsilon, delta, raw_flow, result);
   return result;
 }
 
 McfResult SolveMcfFptas(const McfInstance& instance, double epsilon) {
   BDS_CHECK_MSG(epsilon > 0.0 && epsilon <= 0.5, "epsilon must be in (0, 0.5]");
+  BDS_TIMED_SCOPE("fptas.solve");
   McfResult result = MakeEmptyFptasResult(instance);
   const FlatMcf flat = FlattenMcf(instance);
   const std::vector<double>& cap = flat.cap;
@@ -538,8 +551,13 @@ McfResult SolveMcfFptas(const McfInstance& instance, double epsilon) {
 
   const int64_t max_pushes = MaxPushes(flat, epsilon, delta);
   int64_t pushes = 0;
+  // Telemetry accumulators: plain locals bumped in the hot loop, published
+  // to the registry once per solve (disabled cost: nothing per iteration).
+  int64_t phases = 0;
+  int64_t bound_skips = 0;
   double alpha = delta * static_cast<double>(flat.max_len);
   while (alpha < 1.0 && pushes < max_pushes) {
+    ++phases;
     const double threshold = std::min(1.0, alpha * (1.0 + epsilon));
     size_t out = 0;
     for (size_t k = 0; k < active.size(); ++k) {
@@ -548,6 +566,7 @@ McfResult SolveMcfFptas(const McfInstance& instance, double epsilon) {
         // Provably nothing to push: the cached minimum understates the
         // current one. Retire the commodity if even thresholds of 1 are
         // out of reach.
+        ++bound_skips;
         if (cached_min[static_cast<size_t>(c)] < 1.0) {
           active[out++] = c;
         }
@@ -625,6 +644,7 @@ McfResult SolveMcfFptas(const McfInstance& instance, double epsilon) {
           if (lb >= threshold) {
             cached_min[cs] = lb;
             retired = lb >= 1.0;
+            ++bound_skips;
             break;
           }
         }
@@ -661,6 +681,7 @@ McfResult SolveMcfFptas(const McfInstance& instance, double epsilon) {
           if (lb >= threshold) {
             cached_min[cs] = lb;
             retired = lb >= 1.0;
+            ++bound_skips;
             break;
           }
         }
@@ -716,6 +737,7 @@ McfResult SolveMcfFptas(const McfInstance& instance, double epsilon) {
             if (lb >= threshold) {
               cached_min[cs] = lb;
               retired = lb >= 1.0;
+              ++bound_skips;
               break;
             }
           }
@@ -735,6 +757,17 @@ McfResult SolveMcfFptas(const McfInstance& instance, double epsilon) {
     alpha *= 1.0 + epsilon;
   }
 
+  BDS_TELEMETRY_COUNT("fptas.solves", 1);
+  BDS_TELEMETRY_COUNT("fptas.pushes", pushes);
+  BDS_TELEMETRY_COUNT("fptas.phases", phases);
+  BDS_TELEMETRY_COUNT("fptas.bound_skips", bound_skips);
+  BDS_TELEMETRY_COUNT("fptas.commodities_retired",
+                      static_cast<int64_t>(num_commodities - active.size()));
+  telemetry::TraceInstant("fptas.solve", "lp",
+                          {{"commodities", static_cast<double>(num_commodities)},
+                           {"paths", static_cast<double>(num_paths)},
+                           {"pushes", static_cast<double>(pushes)},
+                           {"phases", static_cast<double>(phases)}});
   FinalizeFptas(flat, epsilon, delta, raw_flow, result);
   return result;
 }

@@ -10,6 +10,7 @@
 
 #include "src/common/status.h"
 #include "src/lp/mcf.h"
+#include "src/telemetry/telemetry.h"
 #include "src/topology/path.h"
 
 namespace bds {
@@ -269,6 +270,12 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
   const int64_t failure_patience =
       64 * static_cast<int64_t>(topo_->num_servers()) + 4096;
 
+  // Hot loop: accumulate into plain locals, publish to the registry once at
+  // the end (so the disabled cost stays one branch per *call*, not per pop).
+  int64_t pops = 0;
+  int64_t stale_requeues = 0;
+  bool early_exit = false;
+
   std::vector<Selected> selected;
   while (!queue_empty()) {
     if (options_.max_deliveries_per_cycle > 0 &&
@@ -278,9 +285,11 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     if (static_cast<int64_t>(saturated_dests.size()) >= owed_servers ||
         (options_.use_sched_early_exit && num_src_exhausted >= holder_universe) ||
         failures_since_success > failure_patience) {
+      early_exit = true;
       break;
     }
     Candidate c = queue_pop();
+    ++pops;
     // Unpack the delivery's coordinates; dest server and duplicate count are
     // recomputed here, for popped candidates only (AssignedServer is a pure
     // function of the coordinates, and holder sets don't change mid-cycle).
@@ -304,6 +313,7 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
       if (now_dup > c.eff_dup) {
         c.eff_dup = now_dup;  // Stale: re-queue with the updated key.
         queue_push(c);
+        ++stale_requeues;
         continue;
       }
     }
@@ -373,6 +383,10 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     ++extra_dups[bkey];  // Insert-on-accept keeps the map at O(selected).
     selected.push_back(Selected{p, bytes, best_src});
   }
+  BDS_TELEMETRY_COUNT("scheduler.candidate_pops", pops);
+  BDS_TELEMETRY_COUNT("scheduler.stale_requeues", stale_requeues);
+  BDS_TELEMETRY_COUNT("scheduler.early_exits", early_exit ? 1 : 0);
+  BDS_TELEMETRY_COUNT("scheduler.blocks_selected", static_cast<int64_t>(selected.size()));
   return selected;
 }
 
@@ -415,6 +429,7 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
   }
   decision.merged_subtasks = static_cast<int64_t>(subtasks.size());
   const size_t num_subtasks = subtasks.size();
+  BDS_TELEMETRY_COUNT("scheduler.route_subtasks", decision.merged_subtasks);
 
   // Build the path-based MCF: one commodity per subtask; demand is the rate
   // that finishes the subtask within the cycle. The instance and the path
@@ -556,12 +571,19 @@ CycleDecision ControllerAlgorithm::Decide(int64_t cycle, const ReplicaState& sta
   decision.cycle = cycle;
 
   auto t0 = std::chrono::steady_clock::now();
-  std::vector<Selected> selected = ScheduleBlocks(state, residual_capacities, in_flight);
+  std::vector<Selected> selected;
+  {
+    BDS_TIMED_SCOPE("scheduler.schedule");
+    selected = ScheduleBlocks(state, residual_capacities, in_flight);
+  }
   decision.scheduled_blocks = static_cast<int64_t>(selected.size());
   decision.scheduling_seconds = SecondsSince(t0);
 
   auto t1 = std::chrono::steady_clock::now();
-  RouteBlocks(std::move(selected), residual_capacities, decision);
+  {
+    BDS_TIMED_SCOPE("scheduler.route");
+    RouteBlocks(std::move(selected), residual_capacities, decision);
+  }
   decision.routing_seconds = SecondsSince(t1);
   return decision;
 }

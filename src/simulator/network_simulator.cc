@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/telemetry/telemetry.h"
+
 namespace bds {
 
 NetworkSimulator::NetworkSimulator(const Topology* topo) : topo_(topo) {
@@ -78,6 +80,11 @@ StatusOr<FlowId> NetworkSimulator::StartFlow(std::vector<LinkId> links, Bytes by
   for (LinkId l : raw->links) {
     MarkDirty(l);
   }
+  BDS_TELEMETRY_COUNT("sim.flows_started", 1);
+  telemetry::TraceInstant("sim.flow.start", "simulator",
+                          {{"flow", static_cast<double>(id)},
+                           {"bytes", bytes},
+                           {"links", static_cast<double>(raw->links.size())}});
   return id;
 }
 
@@ -236,6 +243,9 @@ void NetworkSimulator::ReallocateComponent(LinkId seed) {
   }
   allocator_.AllocateSubset(usable_capacity_, comp_flows_);
   ++num_reallocations_;
+  BDS_TELEMETRY_COUNT("sim.component_solves", 1);
+  BDS_TELEMETRY_HISTOGRAM("sim.component_flows", 0.0, 1024.0, 64,
+                          static_cast<double>(comp_flows_.size()));
   for (size_t i = 0; i < comp_flows_.size(); ++i) {
     Flow* f = comp_flows_[i];
     Rate new_rate = f->current_rate;
@@ -259,6 +269,11 @@ void NetworkSimulator::ReallocateComponent(LinkId seed) {
 
 void NetworkSimulator::Reallocate() {
   incidence_.BeginEpoch();
+  telemetry::TraceInstant("sim.reallocate", "simulator",
+                          {{"dirty_links", static_cast<double>(dirty_links_.size())},
+                           {"active_flows", static_cast<double>(active_.size())}});
+  BDS_TELEMETRY_COUNT("sim.reallocations", 1);
+  BDS_TELEMETRY_COUNT("sim.dirty_links", static_cast<int64_t>(dirty_links_.size()));
   if (full_realloc_) {
     // Reference mode: re-solve every component regardless of dirtiness.
     for (LinkId l = 0; l < topo_->num_links(); ++l) {
@@ -359,6 +374,11 @@ void NetworkSimulator::CompleteBatch(SimTime t) {
     EraseFromActive(pos);
   }
   ++num_events_;
+  BDS_TELEMETRY_COUNT("sim.events", 1);
+  BDS_TELEMETRY_COUNT("sim.flows_completed", static_cast<int64_t>(batch_ids_.size()));
+  telemetry::TraceInstant("sim.complete_batch", "simulator",
+                          {{"flows", static_cast<double>(batch_ids_.size())},
+                           {"sim_time", t}});
 
   // Callbacks fire after the whole batch is detached, so callback-started
   // flows can never share an allocation round with the finished batch.

@@ -1,0 +1,251 @@
+#include "src/telemetry/trace.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace bds {
+namespace telemetry {
+
+namespace {
+
+// Small dense thread ids for trace output (the OS tid is noisy and varies
+// run to run; a dense id makes traces from repeated runs comparable).
+std::atomic<int> g_next_tid{0};
+int ThisThreadTraceId() {
+  thread_local int tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendJsonString(std::ostringstream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << *s;
+    }
+  }
+  os << '"';
+}
+
+void AppendJsonDouble(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return UnavailableError("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_err = std::fclose(f);
+  if (written != contents.size() || close_err != 0) {
+    return UnavailableError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+struct TraceRecorder::Impl {
+  struct Event {
+    const char* name;
+    const char* category;
+    char phase;  // 'i' instant, 'X' complete.
+    int tid;
+    int64_t ts_ns;
+    int64_t dur_ns;
+    int nargs;
+    TraceArg args[kMaxArgs];
+  };
+
+  mutable std::mutex mu;
+  std::vector<Event> ring;  // Bounded by `capacity`; append-only until full.
+  size_t capacity = 0;
+  size_t dropped = 0;
+  int64_t origin_ns = 0;
+
+  void Append(const Event& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (ring.size() >= capacity) {
+      ++dropped;
+      return;
+    }
+    ring.push_back(event);
+  }
+};
+
+TraceRecorder::TraceRecorder() : impl_(new Impl) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // Leaked on purpose.
+  return *recorder;
+}
+
+void TraceRecorder::Start(size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->ring.clear();
+    impl_->ring.reserve(capacity);
+    impl_->capacity = capacity;
+    impl_->dropped = 0;
+    impl_->origin_ns = SteadyNowNs();
+  }
+  active_.store(true, std::memory_order_relaxed);
+  SetEnabled(true);
+}
+
+void TraceRecorder::Stop() { active_.store(false, std::memory_order_relaxed); }
+
+int64_t TraceRecorder::NowNs() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return SteadyNowNs() - impl_->origin_ns;
+}
+
+void TraceRecorder::Instant(const char* name, const char* category,
+                            std::initializer_list<TraceArg> args) {
+  Complete(name, category, NowNs(), /*dur_ns=*/0, args);
+}
+
+void TraceRecorder::Complete(const char* name, const char* category, int64_t ts_ns,
+                             int64_t dur_ns, std::initializer_list<TraceArg> args) {
+  if (!active()) {
+    return;
+  }
+  Impl::Event event;
+  event.name = name;
+  event.category = category;
+  event.phase = dur_ns > 0 ? 'X' : 'i';
+  event.tid = ThisThreadTraceId();
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.nargs = 0;
+  for (const TraceArg& arg : args) {
+    if (event.nargs >= kMaxArgs) {
+      break;
+    }
+    event.args[event.nargs++] = arg;
+  }
+  impl_->Append(event);
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->ring.size();
+}
+
+size_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dropped;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ring.clear();
+  impl_->dropped = 0;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ostringstream os;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Impl::Event& event : impl_->ring) {
+      if (!first) {
+        os << ",\n";
+      }
+      first = false;
+      os << "{\"name\":";
+      AppendJsonString(os, event.name);
+      os << ",\"cat\":";
+      AppendJsonString(os, event.category);
+      os << ",\"ph\":\"" << event.phase << "\"";
+      os << ",\"pid\":1,\"tid\":" << event.tid;
+      // Chrome traces use microseconds.
+      os << ",\"ts\":";
+      AppendJsonDouble(os, static_cast<double>(event.ts_ns) / 1e3);
+      if (event.phase == 'X') {
+        os << ",\"dur\":";
+        AppendJsonDouble(os, static_cast<double>(event.dur_ns) / 1e3);
+      } else {
+        os << ",\"s\":\"t\"";  // Instant scope: thread.
+      }
+      if (event.nargs > 0) {
+        os << ",\"args\":{";
+        for (int i = 0; i < event.nargs; ++i) {
+          if (i > 0) {
+            os << ",";
+          }
+          AppendJsonString(os, event.args[i].key);
+          os << ":";
+          AppendJsonDouble(os, event.args[i].value);
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":" << impl_->dropped
+       << "}}";
+  }
+  return WriteFile(path, os.str());
+}
+
+Status TraceRecorder::WriteRunSummary(const std::string& path,
+                                      const MetricsSnapshot& snapshot) const {
+  std::ostringstream os;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    os << "{\"kind\":\"meta\",\"trace_events\":" << impl_->ring.size()
+       << ",\"dropped_events\":" << impl_->dropped << "}\n";
+  }
+  for (const auto& c : snapshot.counters) {
+    os << "{\"kind\":\"counter\",\"name\":";
+    AppendJsonString(os, c.name.c_str());
+    os << ",\"value\":" << c.value << "}\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << "{\"kind\":\"gauge\",\"name\":";
+    AppendJsonString(os, g.name.c_str());
+    os << ",\"value\":";
+    AppendJsonDouble(os, g.value);
+    os << "}\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    os << "{\"kind\":\"histogram\",\"name\":";
+    AppendJsonString(os, h.name.c_str());
+    os << ",\"count\":" << h.hist.total() << ",\"sum\":";
+    AppendJsonDouble(os, h.sum);
+    os << ",\"max\":";
+    AppendJsonDouble(os, h.max);
+    os << "}\n";
+  }
+  return WriteFile(path, os.str());
+}
+
+}  // namespace telemetry
+}  // namespace bds

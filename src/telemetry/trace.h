@@ -1,0 +1,98 @@
+// In-memory trace recorder: structured events in a bounded ring buffer,
+// exported as Chrome `trace_event` JSON (load into chrome://tracing or
+// https://ui.perfetto.dev) plus a JSONL run summary.
+//
+// Events are cheap (one mutex acquisition + a few stores) but not free, so
+// instrumentation emits them at decision granularity — one per cycle, per
+// solver call, per fault — never per hot-loop iteration. When the ring
+// fills, new events are dropped and counted; exports carry the drop count so
+// a truncated trace is never mistaken for a complete one.
+//
+// Determinism contract: the recorder only observes. Timestamps come from a
+// steady clock and go only into trace output, never into simulation state or
+// RunReport::Fingerprint().
+
+#ifndef BDS_SRC_TELEMETRY_TRACE_H_
+#define BDS_SRC_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/telemetry/metrics.h"
+
+namespace bds {
+namespace telemetry {
+
+// One named numeric argument on a trace event. The key must be a string
+// literal (or otherwise outlive the recorder): events store the pointer.
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+  static constexpr int kMaxArgs = 4;
+
+  static TraceRecorder& Global();
+
+  // Starts recording into a fresh ring of `capacity` events and resets the
+  // clock origin. Also flips telemetry::SetEnabled(true) so BDS_TRACE_*
+  // call sites light up.
+  void Start(size_t capacity = kDefaultCapacity);
+  // Stops recording (events stay buffered for export). Leaves the metrics
+  // registry enabled-state untouched.
+  void Stop();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  // Nanoseconds since Start() on a steady clock.
+  int64_t NowNs() const;
+
+  // A zero-duration instant event ("i" phase).
+  void Instant(const char* name, const char* category,
+               std::initializer_list<TraceArg> args = {});
+  // A complete span ("X" phase): [ts_ns, ts_ns + dur_ns).
+  void Complete(const char* name, const char* category, int64_t ts_ns, int64_t dur_ns,
+                std::initializer_list<TraceArg> args = {});
+
+  size_t size() const;     // Events currently buffered.
+  size_t dropped() const;  // Events rejected since Start() because the ring was full.
+  void Clear();            // Drops buffered events, keeps recording state.
+
+  // Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit": "ms",
+  // "otherData": {"dropped_events": N}}. Timestamps in microseconds.
+  Status WriteChromeTrace(const std::string& path) const;
+  // JSONL run summary: one meta line, then one line per counter, gauge, and
+  // histogram in `snapshot`.
+  Status WriteRunSummary(const std::string& path, const MetricsSnapshot& snapshot) const;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  TraceRecorder();
+  ~TraceRecorder() = delete;  // Global() object is never destroyed.
+
+  struct Impl;
+
+  std::atomic<bool> active_{false};
+  Impl* impl_;
+};
+
+// Emits an instant event iff the recorder is active. Usable from any thread.
+inline void TraceInstant(const char* name, const char* category,
+                         std::initializer_list<TraceArg> args = {}) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (recorder.active()) {
+    recorder.Instant(name, category, args);
+  }
+}
+
+}  // namespace telemetry
+}  // namespace bds
+
+#endif  // BDS_SRC_TELEMETRY_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/status.h"
+#include "src/telemetry/telemetry.h"
 
 namespace bds {
 
@@ -34,6 +35,7 @@ void ServerPathCache::EnsurePair(DcId src_dc, DcId dst_dc) {
   }
   entry.built = true;
   ++misses_;
+  BDS_TELEMETRY_COUNT("path_cache.misses", 1);
 }
 
 void ServerPathCache::MaterializePaths(ServerId src, ServerId dst,
@@ -46,6 +48,9 @@ void ServerPathCache::MaterializePaths(ServerId src, ServerId dst,
   const Server& d = topo_->server(dst);
   const DcPairEntry& entry = entries_[PairIndex(s.dc, d.dc)];
   BDS_CHECK_MSG(entry.built, "ServerPathCache: EnsurePair not called for this DC pair");
+  // Called concurrently under ParallelRunner; the counter add goes to the
+  // calling thread's shard, so this is race-free.
+  BDS_TELEMETRY_COUNT("path_cache.hits", 1);
   out->resize(entry.wan_links.size());
   for (size_t r = 0; r < entry.wan_links.size(); ++r) {
     ServerPath& path = (*out)[r];
@@ -66,6 +71,8 @@ void ServerPathCache::Invalidate() {
     entry.built = false;
   }
   ++generation_;
+  BDS_TELEMETRY_COUNT("path_cache.invalidations", 1);
+  telemetry::TraceInstant("path_cache.invalidate", "topology");
 }
 
 }  // namespace bds

@@ -138,6 +138,69 @@ TEST(EmpiricalDistributionTest, AddAllMatchesAdd) {
   EXPECT_EQ(a.count(), 3);
 }
 
+TEST(EmpiricalDistributionTest, MergeMatchesCombinedStream) {
+  EmpiricalDistribution a;
+  EmpiricalDistribution b;
+  EmpiricalDistribution all;
+  for (int i = 0; i < 60; ++i) {
+    double v = std::cos(i) * 7.0;
+    (i % 3 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.Median(), all.Median());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.9), all.Quantile(0.9));
+  EXPECT_DOUBLE_EQ(a.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), all.Max());
+}
+
+TEST(EmpiricalDistributionTest, MergeWithEmpty) {
+  // Mirrors RunningStatsTest.MergeWithEmpty: empty other is a no-op, merging
+  // into an empty distribution copies.
+  EmpiricalDistribution a;
+  a.Add(1.0);
+  a.Add(3.0);
+  EmpiricalDistribution empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.Median(), 2.0);
+
+  EmpiricalDistribution c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 2);
+  EXPECT_DOUBLE_EQ(c.Median(), 2.0);
+}
+
+TEST(EmpiricalDistributionTest, MergeWithSelfDoublesSamples) {
+  EmpiricalDistribution a;
+  a.Add(1.0);
+  a.Add(5.0);
+  a.Merge(a);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_DOUBLE_EQ(a.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 5.0);
+
+  EmpiricalDistribution empty;
+  empty.Merge(empty);
+  EXPECT_EQ(empty.count(), 0);
+}
+
+TEST(EmpiricalDistributionTest, MergePreservesLaterAdds) {
+  // Sorted-state invalidation: quantiles queried before a merge must not
+  // poison quantiles queried after.
+  EmpiricalDistribution a;
+  a.Add(10.0);
+  EXPECT_DOUBLE_EQ(a.Median(), 10.0);  // Forces the sorted path.
+  EmpiricalDistribution b;
+  b.Add(0.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Median(), 5.0);
+  a.Add(20.0);
+  EXPECT_DOUBLE_EQ(a.Median(), 10.0);
+}
+
 TEST(HistogramTest, BinsAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.Add(1.0);    // bin 0
@@ -151,6 +214,59 @@ TEST(HistogramTest, BinsAndClamping) {
   EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);
   EXPECT_DOUBLE_EQ(h.BinHigh(0), 2.0);
   EXPECT_DOUBLE_EQ(h.BinHigh(4), 10.0);
+}
+
+TEST(HistogramTest, AddCountBulkMatchesRepeatedAdd) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  for (int i = 0; i < 7; ++i) {
+    a.Add(3.0);
+  }
+  b.AddCount(1, 7);
+  EXPECT_EQ(a.BinCount(1), b.BinCount(1));
+  EXPECT_EQ(a.total(), b.total());
+}
+
+TEST(HistogramTest, MergeMatchesCombinedStream) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  Histogram all(0.0, 10.0, 5);
+  for (int i = 0; i < 40; ++i) {
+    double v = std::fmod(i * 1.7, 12.0) - 1.0;  // Exercises both clamp edges.
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  for (int bin = 0; bin < all.bins(); ++bin) {
+    EXPECT_EQ(a.BinCount(bin), all.BinCount(bin)) << "bin " << bin;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyAndSelf) {
+  Histogram a(0.0, 10.0, 5);
+  a.Add(1.0);
+  a.Add(9.0);
+  Histogram empty(0.0, 10.0, 5);
+  a.Merge(empty);
+  EXPECT_EQ(a.total(), 2);
+
+  Histogram c(0.0, 10.0, 5);
+  c.Merge(a);
+  EXPECT_EQ(c.total(), 2);
+  EXPECT_EQ(c.BinCount(0), 1);
+  EXPECT_EQ(c.BinCount(4), 1);
+
+  a.Merge(a);
+  EXPECT_EQ(a.total(), 4);
+  EXPECT_EQ(a.BinCount(0), 2);
+  EXPECT_EQ(a.BinCount(4), 2);
+}
+
+TEST(HistogramDeathTest, MergeRejectsMismatchedShape) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 10);
+  EXPECT_DEATH(a.Merge(b), "");
 }
 
 TEST(HistogramTest, ToStringDoesNotCrash) {

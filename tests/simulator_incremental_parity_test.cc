@@ -253,7 +253,8 @@ TEST(IncrementalParityTest2, ControllerFingerprintMatchesFullReallocation) {
       auto report = controller.Run(Hours(1.0));
       ASSERT_TRUE(report.ok());
       ASSERT_TRUE(report->completed);
-      EXPECT_LE(report->max_link_overshoot, 1e-4);
+      ASSERT_TRUE(report->max_link_overshoot.has_value());
+      EXPECT_LE(*report->max_link_overshoot, 1e-4);
       fp[mode] = report->Fingerprint();
     }
     EXPECT_EQ(fp[0], fp[1]) << "seed " << seed;

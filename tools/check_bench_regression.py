@@ -135,6 +135,13 @@ def main():
         raise SystemExit(f"benchmark mismatch: baseline is "
                          f"'{baseline_data['benchmark']}', fresh run is "
                          f"'{fresh_data['benchmark']}'")
+    # The committed baselines time the telemetry-off fast path. A fresh run
+    # stamped telemetry_enabled=true timed the instrumented path instead —
+    # the comparison would be apples-to-oranges, and a quietly-enabled
+    # registry in the bench harness is itself a bug worth failing on.
+    if fresh_data.get("telemetry_enabled", False):
+        raise SystemExit(f"{fresh_path}: fresh run had telemetry enabled; "
+                         "bench timings must be taken with telemetry off")
     ref_config = reference_config(baseline_data)
     field = time_field(baseline_data, fresh_data)
     print(f"comparing '{field}' ratios vs '{ref_config}'")
