@@ -89,17 +89,22 @@ struct SweepConfig {
   bool path_cache;
   bool sched_early_exit;
   int num_threads;
+  int num_shards;
 };
 
 // "baseline" turns every knob off, reproducing the pre-optimization
-// controller; "all" is the shipping default plus the thread pool.
+// controller; "all" is the shipping default plus the thread pool; the
+// "shards*" rows add the fleet-scale sharded controller on top (decisions
+// must still be bit-identical — the sweep checks the fingerprints).
 constexpr SweepConfig kSweepConfigs[] = {
-    {"baseline", false, false, false, 1},
-    {"incremental_fptas", true, false, false, 1},
-    {"path_cache", false, true, false, 1},
-    {"sched_early_exit", false, false, true, 1},
-    {"threads4", false, false, false, 4},
-    {"all", true, true, true, 4},
+    {"baseline", false, false, false, 1, 1},
+    {"incremental_fptas", true, false, false, 1, 1},
+    {"path_cache", false, true, false, 1, 1},
+    {"sched_early_exit", false, false, true, 1, 1},
+    {"threads4", false, false, false, 4, 1},
+    {"all", true, true, true, 4, 1},
+    {"shards4", true, true, true, 1, 4},
+    {"all_shards4", true, true, true, 4, 4},
 };
 
 struct SweepPoint {
@@ -200,6 +205,7 @@ std::vector<SweepPoint> RunConfigSweep(bool smoke) {
       options.use_path_cache = c.path_cache;
       options.use_sched_early_exit = c.sched_early_exit;
       options.num_threads = c.num_threads;
+      options.num_shards = c.num_shards;
       ControllerAlgorithm algorithm(&topo, &routing, options);
       uint64_t fp = 0;
       TimeDecide(algorithm, replica_state, residual, reps, &fp, &point.seconds[ci],
@@ -221,7 +227,143 @@ std::vector<SweepPoint> RunConfigSweep(bool smoke) {
   return points;
 }
 
-void WriteSweepJson(const std::vector<SweepPoint>& points, bool smoke,
+// ---------------------------------------------------------------------------
+// Fleet-scale shard sweep: many concurrent jobs (one commodity-rich cycle)
+// instead of one huge job. 10^4 jobs x 10^3 blocks = 10^7 outstanding blocks
+// with 10^4+ concurrent transfers in a single all-on sharded cycle — the
+// fleet acceptance target is that cycle staying under the paper's 3 s cycle
+// length in CPU time (min over repetitions).
+
+struct FleetConfig {
+  const char* name;
+  int num_shards;
+};
+
+// Every fleet config runs all-on (incremental FPTAS + path cache + early
+// exit + 4 threads); only the shard count varies. "baseline" is the point's
+// reference config for the regression gate (config-relative ratios), here
+// meaning "all-on, unsharded".
+constexpr FleetConfig kFleetConfigs[] = {
+    {"baseline", 1},
+    {"fleet_shards4", 4},
+    {"fleet_shards8", 8},
+};
+
+struct FleetPoint {
+  int64_t jobs = 0;
+  int64_t blocks_per_job = 0;
+  int64_t blocks = 0;  // jobs * blocks_per_job, the sweep axis.
+  int64_t transfers = 0;
+  double seconds[std::size(kFleetConfigs)] = {};
+  double cpu_seconds[std::size(kFleetConfigs)] = {};
+  // Per-phase CPU split of the decision (select / MCF solve / merge +
+  // assembly), per config, from the best-CPU repetition's decision fields.
+  double select_cpu[std::size(kFleetConfigs)] = {};
+  double solve_cpu[std::size(kFleetConfigs)] = {};
+  double merge_cpu[std::size(kFleetConfigs)] = {};
+  int shard_groups[std::size(kFleetConfigs)] = {};
+};
+
+std::vector<FleetPoint> RunFleetSweep(bool smoke) {
+  struct Size {
+    int64_t jobs;
+    int64_t blocks_per_job;
+  };
+  // Smoke shares its size with the full sweep so the regression gate always
+  // has a common (size, config) key; the full sweep adds the 10^7-block
+  // fleet point the acceptance bound is stated on.
+  std::vector<Size> sizes = smoke ? std::vector<Size>{{2'000, 50}}
+                                  : std::vector<Size>{{2'000, 50}, {10'000, 1'000}};
+  const int reps = 3;
+
+  GeoTopologyOptions topo_options;
+  topo_options.num_dcs = 10;
+  topo_options.servers_per_dc = 100;
+  topo_options.server_up = MBps(20.0);
+  topo_options.server_down = MBps(20.0);
+  auto topo = BuildGeoTopology(topo_options).value();
+  auto routing = WanRoutingTable::Build(topo, 3).value();
+  std::vector<Rate> residual;
+  residual.reserve(static_cast<size_t>(topo.num_links()));
+  for (const Link& l : topo.links()) {
+    residual.push_back(l.capacity);
+  }
+
+  bench::PrintHeader("Fleet-scale shard sweep", "one all-on cycle, shard count varied",
+                     "many concurrent jobs; decisions bit-identical across shard counts; "
+                     "acceptance: the sharded 10^7-block cycle under 3 s CPU");
+  std::printf("%12s %8s", "blocks", "jobs");
+  for (const FleetConfig& c : kFleetConfigs) {
+    std::printf("  %18s", c.name);
+  }
+  std::printf("  %9s\n", "groups");
+
+  std::vector<FleetPoint> points;
+  for (const Size& size : sizes) {
+    ReplicaState replica_state(&topo);
+    for (int64_t j = 0; j < size.jobs; ++j) {
+      // Sources and single destinations rotate across DCs so the cycle
+      // carries commodities on every WAN direction.
+      const DcId src = static_cast<DcId>(j % topo.num_dcs());
+      const DcId dst = static_cast<DcId>((j + 1 + j / topo.num_dcs()) % topo.num_dcs());
+      MulticastJob job = MakeJob(static_cast<JobId>(j), src, {dst == src ? (src + 1) % topo.num_dcs() : dst},
+                                 MB(2.0) * static_cast<double>(size.blocks_per_job), MB(2.0))
+                             .value();
+      BDS_CHECK(replica_state.AddJob(job).ok());
+    }
+
+    FleetPoint point;
+    point.jobs = size.jobs;
+    point.blocks_per_job = size.blocks_per_job;
+    point.blocks = size.jobs * size.blocks_per_job;
+    uint64_t baseline_fp = 0;
+    int last_groups = 0;
+    for (size_t ci = 0; ci < std::size(kFleetConfigs); ++ci) {
+      ControllerAlgorithmOptions options;
+      options.num_threads = 4;
+      options.num_shards = kFleetConfigs[ci].num_shards;
+      ControllerAlgorithm algorithm(&topo, &routing, options);
+      uint64_t fp = 0;
+      for (int r = 0; r < reps; ++r) {
+        const double cpu_start = ProcessCpuSeconds();
+        const auto start = std::chrono::steady_clock::now();
+        CycleDecision decision = algorithm.Decide(0, replica_state, residual, {});
+        const auto stop = std::chrono::steady_clock::now();
+        const double cpu = ProcessCpuSeconds() - cpu_start;
+        const double wall = std::chrono::duration<double>(stop - start).count();
+        if (r == 0 || wall < point.seconds[ci]) {
+          point.seconds[ci] = wall;
+        }
+        if (r == 0 || cpu < point.cpu_seconds[ci]) {
+          point.cpu_seconds[ci] = cpu;
+          point.select_cpu[ci] = decision.select_cpu_seconds;
+          point.solve_cpu[ci] = decision.solve_cpu_seconds;
+          point.merge_cpu[ci] = decision.merge_cpu_seconds;
+          point.shard_groups[ci] = decision.num_shard_groups;
+        }
+        fp = decision.Fingerprint();
+        point.transfers = static_cast<int64_t>(decision.transfers.size());
+      }
+      if (ci == 0) {
+        baseline_fp = fp;
+      } else {
+        BDS_CHECK_MSG(fp == baseline_fp, "shard count changed the cycle decision");
+      }
+      last_groups = point.shard_groups[ci];
+    }
+    std::printf("%12lld %8lld", static_cast<long long>(point.blocks),
+                static_cast<long long>(point.jobs));
+    for (size_t ci = 0; ci < std::size(kFleetConfigs); ++ci) {
+      std::printf("  %15.1f ms", point.cpu_seconds[ci] * 1e3);
+    }
+    std::printf("  %9d\n", last_groups);
+    points.push_back(point);
+  }
+  return points;
+}
+
+void WriteSweepJson(const std::vector<SweepPoint>& points,
+                    const std::vector<FleetPoint>& fleet_points, bool smoke,
                     const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   BDS_CHECK_MSG(f != nullptr, "cannot open --json output path");
@@ -235,7 +377,18 @@ void WriteSweepJson(const std::vector<SweepPoint>& points, bool smoke,
   for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
     std::fprintf(f, "%s\"%s\"", ci == 0 ? "" : ", ", kSweepConfigs[ci].name);
   }
-  std::fprintf(f, "],\n  \"points\": [\n");
+  // Shard-count stamp per config name (fleet configs included), so readers
+  // of the JSON never have to parse shard counts out of config names.
+  std::fprintf(f, "],\n  \"config_shards\": {");
+  for (size_t ci = 0; ci < std::size(kSweepConfigs); ++ci) {
+    std::fprintf(f, "%s\"%s\": %d", ci == 0 ? "" : ", ", kSweepConfigs[ci].name,
+                 kSweepConfigs[ci].num_shards);
+  }
+  for (size_t ci = 1; ci < std::size(kFleetConfigs); ++ci) {
+    std::fprintf(f, ", \"%s\": %d", kFleetConfigs[ci].name, kFleetConfigs[ci].num_shards);
+  }
+  std::fprintf(f, "},\n  \"points\": [\n");
+  const bool more_after_points = !fleet_points.empty();
   for (size_t i = 0; i < points.size(); ++i) {
     std::fprintf(f, "    {\"blocks\": %lld, \"seconds\": {",
                  static_cast<long long>(points[i].blocks));
@@ -248,7 +401,38 @@ void WriteSweepJson(const std::vector<SweepPoint>& points, bool smoke,
       std::fprintf(f, "%s\"%s\": %.6f", ci == 0 ? "" : ", ", kSweepConfigs[ci].name,
                    points[i].cpu_seconds[ci]);
     }
-    std::fprintf(f, "}}%s\n", i + 1 == points.size() ? "" : ",");
+    std::fprintf(f, "}}%s\n",
+                 i + 1 == points.size() && !more_after_points ? "" : ",");
+  }
+  // Fleet points share the array (the gate is per-(size, config); the fleet
+  // config names are distinct, so medians never mix the two sections). Each
+  // carries the workload shape, the shard stamp, and the per-phase CPU
+  // split per config.
+  for (size_t i = 0; i < fleet_points.size(); ++i) {
+    const FleetPoint& p = fleet_points[i];
+    std::fprintf(f,
+                 "    {\"blocks\": %lld, \"jobs\": %lld, \"blocks_per_job\": %lld, "
+                 "\"transfers\": %lld, \"seconds\": {",
+                 static_cast<long long>(p.blocks), static_cast<long long>(p.jobs),
+                 static_cast<long long>(p.blocks_per_job), static_cast<long long>(p.transfers));
+    for (size_t ci = 0; ci < std::size(kFleetConfigs); ++ci) {
+      std::fprintf(f, "%s\"%s\": %.6f", ci == 0 ? "" : ", ", kFleetConfigs[ci].name,
+                   p.seconds[ci]);
+    }
+    std::fprintf(f, "}, \"cpu_seconds\": {");
+    for (size_t ci = 0; ci < std::size(kFleetConfigs); ++ci) {
+      std::fprintf(f, "%s\"%s\": %.6f", ci == 0 ? "" : ", ", kFleetConfigs[ci].name,
+                   p.cpu_seconds[ci]);
+    }
+    std::fprintf(f, "}, \"phases\": {");
+    for (size_t ci = 0; ci < std::size(kFleetConfigs); ++ci) {
+      std::fprintf(f,
+                   "%s\"%s\": {\"num_shards\": %d, \"shard_groups\": %d, \"select\": %.6f, "
+                   "\"solve\": %.6f, \"merge\": %.6f}",
+                   ci == 0 ? "" : ", ", kFleetConfigs[ci].name, kFleetConfigs[ci].num_shards,
+                   p.shard_groups[ci], p.select_cpu[ci], p.solve_cpu[ci], p.merge_cpu[ci]);
+    }
+    std::fprintf(f, "}}%s\n", i + 1 == fleet_points.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -337,8 +521,9 @@ int main(int argc, char** argv) {
     ::benchmark::RunSpecifiedBenchmarks();
   }
   std::vector<bds::SweepPoint> points = bds::RunConfigSweep(smoke);
+  std::vector<bds::FleetPoint> fleet_points = bds::RunFleetSweep(smoke);
   if (!json_path.empty()) {
-    bds::WriteSweepJson(points, smoke, json_path);
+    bds::WriteSweepJson(points, fleet_points, smoke, json_path);
   }
   if (!smoke && !sweep_only) {
     bds::PrintDelayCdfs();

@@ -2,7 +2,11 @@
 // DCs over a small geo-distributed deployment, and print what happened.
 //
 //   ./quickstart [--dcs N] [--servers N] [--size-gb X] [--cycle S] [--verbose]
+//               [--threads N] [--shards K]
 //               [--trace-json PATH] [--summary-jsonl PATH]
+//
+// --threads and --shards exercise the fleet-scale controller (DESIGN.md
+// "Sharded controller"); either may be raised without changing any decision.
 //
 // With --trace-json the run is recorded and exported as Chrome trace_event
 // JSON — open it in chrome://tracing or https://ui.perfetto.dev, or validate
@@ -23,6 +27,8 @@ int main(int argc, char** argv) {
   int servers = 4;
   double size_gb = 2.0;
   double cycle = 3.0;
+  int threads = 1;
+  int shards = 1;
   bool verbose = false;
   std::string trace_json;
   std::string summary_jsonl;
@@ -32,6 +38,8 @@ int main(int argc, char** argv) {
   flags.AddInt("servers", &servers, "servers per datacenter");
   flags.AddDouble("size-gb", &size_gb, "bulk data size in GB");
   flags.AddDouble("cycle", &cycle, "controller update cycle in seconds");
+  flags.AddInt("threads", &threads, "controller worker threads");
+  flags.AddInt("shards", &shards, "controller shards (selection + FPTAS groups)");
   flags.AddBool("verbose", &verbose, "enable info logging");
   flags.AddString("trace-json", &trace_json, "write a Chrome trace_event JSON file here");
   flags.AddString("summary-jsonl", &summary_jsonl, "write a JSONL metrics summary here");
@@ -65,6 +73,8 @@ int main(int argc, char** argv) {
   // 2. Bring up BDS.
   bds::BdsOptions options;
   options.cycle_length = cycle;
+  options.num_threads = std::max(1, threads);
+  options.num_shards = std::max(1, shards);
   auto service = bds::BdsService::Create(std::move(topo).value(), options);
   if (!service.ok()) {
     std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());

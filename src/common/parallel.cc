@@ -1,6 +1,7 @@
 #include "src/common/parallel.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "src/common/status.h"
 
@@ -15,9 +16,6 @@ std::pair<size_t, size_t> Slice(size_t n, int threads, int worker) {
   return {n * w / t, n * (w + 1) / t};
 }
 
-}  // namespace
-
-namespace {
 int ClampThreads(int num_threads) {
   // More workers than hardware threads only adds contention — they cannot
   // run concurrently, and slice outputs are position-addressed so the thread
@@ -28,6 +26,7 @@ int ClampThreads(int num_threads) {
   }
   return std::max(1, std::min(num_threads, hw));
 }
+
 }  // namespace
 
 ParallelRunner::ParallelRunner(int num_threads) : num_threads_(ClampThreads(num_threads)) {}
@@ -43,12 +42,11 @@ ParallelRunner::~ParallelRunner() {
   }
 }
 
-void ParallelRunner::EnsureWorkers() {
-  if (!workers_.empty()) {
-    return;
-  }
-  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
-  for (int w = 1; w < num_threads_; ++w) {
+void ParallelRunner::EnsureWorkers(int needed) {
+  // Lazily grow the pool: a run whose work-item count is below num_threads
+  // only ever creates the workers its slices occupy.
+  while (static_cast<int>(workers_.size()) < needed) {
+    int w = static_cast<int>(workers_.size()) + 1;  // Worker 0 is the caller.
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
 }
@@ -57,7 +55,8 @@ void ParallelRunner::WorkerLoop(int worker) {
   uint64_t seen = 0;
   for (;;) {
     const std::function<void(size_t, size_t)>* task;
-    size_t n;
+    size_t begin = 0;
+    size_t end = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
@@ -66,9 +65,15 @@ void ParallelRunner::WorkerLoop(int worker) {
       }
       seen = generation_;
       task = task_;
-      n = task_n_;
+      // A run with fewer slices than spawned workers leaves the extras idle:
+      // they consume the generation bump but own no slice and must not touch
+      // outstanding_ (the dispatcher only counts participating workers).
+      if (static_cast<size_t>(worker) >= task_slices_.size()) {
+        continue;
+      }
+      begin = task_slices_[static_cast<size_t>(worker)].first;
+      end = task_slices_[static_cast<size_t>(worker)].second;
     }
-    auto [begin, end] = Slice(n, num_threads_, worker);
     if (begin < end) {
       (*task)(begin, end);
     }
@@ -81,31 +86,95 @@ void ParallelRunner::WorkerLoop(int worker) {
   }
 }
 
-void ParallelRunner::For(size_t n, const std::function<void(size_t, size_t)>& fn) {
-  if (n == 0) {
+void ParallelRunner::RunSlices(std::vector<std::pair<size_t, size_t>> slices,
+                               const std::function<void(size_t, size_t)>& fn) {
+  int participants = static_cast<int>(slices.size());
+  if (participants <= 1) {
+    if (participants == 1 && slices[0].first < slices[0].second) {
+      fn(slices[0].first, slices[0].second);
+    }
     return;
   }
-  if (num_threads_ == 1) {
-    fn(0, n);
-    return;
-  }
-  EnsureWorkers();
+  EnsureWorkers(participants - 1);
+  std::pair<size_t, size_t> own = slices[0];
   {
     std::lock_guard<std::mutex> lock(mu_);
     BDS_CHECK_MSG(outstanding_ == 0, "ParallelRunner::For is not reentrant");
     task_ = &fn;
-    task_n_ = n;
-    outstanding_ = num_threads_ - 1;
+    task_slices_ = std::move(slices);
+    outstanding_ = participants - 1;
     ++generation_;
   }
   work_cv_.notify_all();
-  auto [begin, end] = Slice(n, num_threads_, 0);
-  if (begin < end) {
-    fn(begin, end);
+  if (own.first < own.second) {
+    fn(own.first, own.second);
   }
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return outstanding_ == 0; });
   task_ = nullptr;
+}
+
+void ParallelRunner::For(size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  // Clamp to the work-item count: For(3) on a 16-thread pool runs 3 slices
+  // (spawning at most 2 workers), not 16 slices of which 13 are empty.
+  int threads = static_cast<int>(std::min<size_t>(static_cast<size_t>(num_threads_), n));
+  if (threads == 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::pair<size_t, size_t>> slices(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    slices[static_cast<size_t>(w)] = Slice(n, threads, w);
+  }
+  RunSlices(std::move(slices), fn);
+}
+
+void ParallelRunner::ForWeighted(const std::vector<int64_t>& weights,
+                                 const std::function<void(size_t, size_t)>& fn) {
+  size_t n = weights.size();
+  if (n == 0) {
+    return;
+  }
+  int threads = static_cast<int>(std::min<size_t>(static_cast<size_t>(num_threads_), n));
+  if (threads == 1) {
+    fn(0, n);
+    return;
+  }
+  int64_t total = 0;
+  for (int64_t w : weights) {
+    BDS_CHECK_MSG(w >= 0, "ForWeighted: negative weight");
+    total += w;
+  }
+  if (total == 0) {
+    For(n, fn);
+    return;
+  }
+  // Contiguous slices with near-equal weight: slice w ends at the first index
+  // whose weight prefix reaches total * (w + 1) / threads. Pure function of
+  // (weights, threads), so runs are reproducible.
+  std::vector<std::pair<size_t, size_t>> slices;
+  slices.reserve(static_cast<size_t>(threads));
+  size_t begin = 0;
+  int64_t prefix = 0;
+  for (int w = 0; w < threads; ++w) {
+    int64_t target = total * static_cast<int64_t>(w + 1) / threads;
+    size_t end = begin;
+    // Leave enough items for the remaining slices (each needs >= 1).
+    size_t max_end = n - static_cast<size_t>(threads - 1 - w);
+    while (end < max_end && (prefix < target || end < begin + 1)) {
+      prefix += weights[end];
+      ++end;
+    }
+    if (w == threads - 1) {
+      end = n;
+    }
+    slices.emplace_back(begin, end);
+    begin = end;
+  }
+  RunSlices(std::move(slices), fn);
 }
 
 }  // namespace bds

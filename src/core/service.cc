@@ -12,6 +12,8 @@ ControllerOptions ToControllerOptions(const BdsOptions& options) {
   c.algorithm.use_exact_lp = options.use_exact_lp;
   c.algorithm.max_wan_routes = options.max_wan_routes;
   c.algorithm.max_deliveries_per_cycle = options.max_deliveries_per_cycle;
+  c.algorithm.num_threads = options.num_threads;
+  c.algorithm.num_shards = options.num_shards;
   c.separation.safety_threshold = options.safety_threshold;
   c.separation.bulk_rate_cap = options.bulk_rate_cap;
   c.fallback.visibility = options.fallback_visibility;

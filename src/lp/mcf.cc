@@ -8,9 +8,15 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/lp/lp_problem.h"
+#include "src/lp/mcf_internal.h"
 #include "src/telemetry/telemetry.h"
 
 namespace bds {
+
+using mcf_internal::FlatMcf;
+using mcf_internal::FlatPath;
+using mcf_internal::FlattenMcf;
+using mcf_internal::FptasWorkspace;
 
 int McfInstance::num_paths() const {
   int n = 0;
@@ -88,160 +94,10 @@ McfResult SolveMcfSimplex(const McfInstance& instance, const SimplexOptions& opt
   return result;
 }
 
-namespace {
-
-// Shared flattened form of an McfInstance: paths with one virtual "demand
-// edge" appended per capped commodity so demands reduce to ordinary
-// capacities (standard reduction). Dead paths (through a zero-capacity edge)
-// are dropped here so both solvers see the same path set.
-struct FlatPath {
-  int commodity;
-  int path_index;
-  std::vector<int> links;  // Includes the virtual demand edge if any.
-};
-
-struct FlatMcf {
-  std::vector<double> cap;
-  std::vector<FlatPath> paths;
-  // Flattened path ids grouped by commodity, in path order.
-  std::vector<std::vector<int>> commodity_paths;
-  size_t max_len = 1;
-
-  size_t num_edges() const { return cap.size(); }
-};
-
-FlatMcf FlattenMcf(const McfInstance& instance) {
-  FlatMcf flat;
-  flat.cap = instance.capacities;
-  for (int c = 0; c < instance.num_commodities(); ++c) {
-    const McfCommodity& com = instance.commodities[static_cast<size_t>(c)];
-    int demand_edge = -1;
-    if (com.demand >= 0.0) {
-      demand_edge = static_cast<int>(flat.cap.size());
-      flat.cap.push_back(com.demand);
-    }
-    for (size_t p = 0; p < com.paths.size(); ++p) {
-      FlatPath fp;
-      fp.commodity = c;
-      fp.path_index = static_cast<int>(p);
-      const std::vector<int>& links = com.paths[p].links;
-      fp.links.reserve(links.size() + (demand_edge >= 0 ? 1 : 0));
-      fp.links.insert(fp.links.end(), links.begin(), links.end());
-      if (demand_edge >= 0) {
-        fp.links.push_back(demand_edge);
-      }
-      // Paths through a zero-capacity edge can carry nothing.
-      bool dead = false;
-      for (int l : fp.links) {
-        if (flat.cap[static_cast<size_t>(l)] <= 0.0) {
-          dead = true;
-          break;
-        }
-      }
-      if (!dead && !fp.links.empty()) {
-        flat.paths.push_back(std::move(fp));
-      }
-    }
-  }
-  flat.commodity_paths.resize(static_cast<size_t>(instance.num_commodities()));
-  for (size_t i = 0; i < flat.paths.size(); ++i) {
-    flat.commodity_paths[static_cast<size_t>(flat.paths[i].commodity)].push_back(
-        static_cast<int>(i));
-    flat.max_len = std::max(flat.max_len, flat.paths[i].links.size());
-  }
-  return flat;
-}
-
-// Push-count cap shared by both solvers (bounds a wedged multiplicative-
-// weights loop; generous against the theoretical phase bound).
-int64_t MaxPushes(const FlatMcf& flat, double epsilon, double delta) {
-  return static_cast<int64_t>(4.0 * static_cast<double>(flat.num_edges()) *
-                              std::log((1.0 + epsilon) / delta) / std::log(1.0 + epsilon)) +
-         1024;
-}
-
-// Theoretical scaling, then exact feasibility normalization: divide by the
-// worst edge utilization so no capacity or demand is exceeded. The
-// multiplicative-weights dynamics keep utilizations balanced, so the
-// normalization costs little (the property tests assert (1 - 3 eps)
-// optimality against the exact simplex solution). Finishes with greedy
-// augmentation: top up each path with whatever residual capacity remains
-// along it, recovering the volume the normalization gave away and making the
-// final flow maximal (no augmenting path remains).
-void FinalizeFptas(const FlatMcf& flat, double epsilon, double delta,
-                   std::vector<double>& raw_flow, McfResult& result) {
-  const size_t num_edges = flat.num_edges();
-  const std::vector<double>& cap = flat.cap;
-  const std::vector<FlatPath>& paths = flat.paths;
-
-  const double scale = std::log((1.0 + epsilon) / delta) / std::log(1.0 + epsilon);
-  BDS_CHECK(scale > 0.0);
-  for (double& f : raw_flow) {
-    f /= scale;
-  }
-  std::vector<double> load(num_edges, 0.0);
-  for (size_t i = 0; i < paths.size(); ++i) {
-    for (int l : paths[i].links) {
-      load[static_cast<size_t>(l)] += raw_flow[i];
-    }
-  }
-  double worst = 1.0;
-  for (size_t l = 0; l < num_edges; ++l) {
-    if (cap[l] > 0.0) {
-      worst = std::max(worst, load[l] / cap[l]);
-    }
-  }
-  for (size_t i = 0; i < paths.size(); ++i) {
-    raw_flow[i] /= worst;
-  }
-  for (size_t l = 0; l < num_edges; ++l) {
-    load[l] /= worst;
-  }
-
-  for (int round = 0; round < 2; ++round) {
-    for (size_t i = 0; i < paths.size(); ++i) {
-      double slack = std::numeric_limits<double>::infinity();
-      for (int l : paths[i].links) {
-        slack = std::min(slack, cap[static_cast<size_t>(l)] - load[static_cast<size_t>(l)]);
-      }
-      if (slack > kFluidEpsilon) {
-        raw_flow[i] += slack;
-        for (int l : paths[i].links) {
-          load[static_cast<size_t>(l)] += slack;
-        }
-      }
-    }
-  }
-
-  for (size_t i = 0; i < paths.size(); ++i) {
-    result.flow[static_cast<size_t>(paths[i].commodity)][static_cast<size_t>(paths[i].path_index)] =
-        raw_flow[i];
-    result.total_flow += raw_flow[i];
-  }
-}
-
-McfResult MakeEmptyFptasResult(const McfInstance& instance) {
-  McfResult result;
-  result.flow.resize(static_cast<size_t>(instance.num_commodities()));
-  for (int c = 0; c < instance.num_commodities(); ++c) {
-    result.flow[static_cast<size_t>(c)].assign(
-        instance.commodities[static_cast<size_t>(c)].paths.size(), 0.0);
-  }
-  return result;
-}
-
-double FptasDelta(const FlatMcf& flat, double epsilon) {
-  // Garg–Könemann initialization.
-  return (1.0 + epsilon) *
-         std::pow((1.0 + epsilon) * static_cast<double>(flat.num_edges()), -1.0 / epsilon);
-}
-
-}  // namespace
-
 McfResult SolveMcfFptasReference(const McfInstance& instance, double epsilon) {
   BDS_CHECK_MSG(epsilon > 0.0 && epsilon <= 0.5, "epsilon must be in (0, 0.5]");
   BDS_TIMED_SCOPE("fptas.reference");
-  McfResult result = MakeEmptyFptasResult(instance);
+  McfResult result = mcf_internal::MakeEmptyFptasResult(instance);
   const FlatMcf flat = FlattenMcf(instance);
   const std::vector<double>& cap = flat.cap;
   const std::vector<FlatPath>& paths = flat.paths;
@@ -251,7 +107,7 @@ McfResult SolveMcfFptasReference(const McfInstance& instance, double epsilon) {
   }
 
   const size_t num_edges = flat.num_edges();
-  const double delta = FptasDelta(flat, epsilon);
+  const double delta = mcf_internal::FptasDelta(flat, epsilon);
   std::vector<double> length(num_edges);
   for (size_t l = 0; l < num_edges; ++l) {
     length[l] = delta / cap[l];
@@ -272,7 +128,7 @@ McfResult SolveMcfFptasReference(const McfInstance& instance, double epsilon) {
   // commodity keeps pushing along its cheapest path while that path is
   // shorter than min(1, alpha * (1 + eps)); when every commodity's cheapest
   // path reaches 1 the algorithm stops.
-  const int64_t max_pushes = MaxPushes(flat, epsilon, delta);
+  const int64_t max_pushes = mcf_internal::MaxPushes(flat, epsilon, delta);
   int64_t pushes = 0;
   int64_t phases = 0;
   double alpha = delta * static_cast<double>(flat.max_len);
@@ -320,458 +176,63 @@ McfResult SolveMcfFptasReference(const McfInstance& instance, double epsilon) {
                            {"paths", static_cast<double>(paths.size())},
                            {"pushes", static_cast<double>(pushes)},
                            {"phases", static_cast<double>(phases)}});
-  FinalizeFptas(flat, epsilon, delta, raw_flow, result);
+  mcf_internal::FinalizeFptas(flat, epsilon, delta, raw_flow, result);
   return result;
 }
 
+// The tuned solver: Fleischer's phase structure over a flat CSR form with
+// incrementally maintained lower bounds. The loop itself lives in
+// mcf_internal::RunFptasPushLoop, parameterized by the commodity subset it
+// may push for, so the sharded solver (mcf_shard.cc) runs the identical code
+// over link-disjoint subsets; here the subset is every commodity. The push
+// sequence — and therefore every per-path flow — is bit-identical to
+// SolveMcfFptasReference (see the parity property tests): when a commodity
+// IS consulted, its path lengths are recomputed by fresh scans in link order
+// (the identical floating-point sums), the structured-shape fast kinds only
+// reorder provably-equal arithmetic (sentinel adds of 0.0, hoisted shared
+// loads), and the cached minimum only skips scans whose outcome is proved.
 McfResult SolveMcfFptas(const McfInstance& instance, double epsilon) {
   BDS_CHECK_MSG(epsilon > 0.0 && epsilon <= 0.5, "epsilon must be in (0, 0.5]");
   BDS_TIMED_SCOPE("fptas.solve");
-  McfResult result = MakeEmptyFptasResult(instance);
+  McfResult result = mcf_internal::MakeEmptyFptasResult(instance);
   const FlatMcf flat = FlattenMcf(instance);
-  const std::vector<double>& cap = flat.cap;
-  const std::vector<FlatPath>& paths = flat.paths;
   result.ok = true;
-  if (paths.empty()) {
+  if (flat.paths.empty()) {
     return result;  // Nothing can flow.
   }
 
   const size_t num_edges = flat.num_edges();
-  const size_t num_paths = paths.size();
-  const size_t num_commodities = flat.commodity_paths.size();
-  const double delta = FptasDelta(flat, epsilon);
+  const double delta = mcf_internal::FptasDelta(flat, epsilon);
+  const FptasWorkspace ws(flat, epsilon);
   // One slot past the real edges is the sentinel padding edge: length 0.0,
-  // never multiplied, used by the unrolled scans below.
+  // never multiplied by a real factor, used by the workspace's unrolled scans.
   std::vector<double> length(num_edges + 1, 0.0);
   for (size_t l = 0; l < num_edges; ++l) {
-    length[l] = delta / cap[l];
+    length[l] = delta / flat.cap[l];
   }
-  std::vector<double> raw_flow(num_paths, 0.0);
+  std::vector<double> raw_flow(ws.num_paths, 0.0);
 
-  // Incremental machinery. The reference loop spends its time on three
-  // redundancies: it recomputes every commodity's path lengths every phase
-  // even when nothing changed, it re-derives each path's (static) bottleneck
-  // capacity on every push, and it performs a division per link per push for
-  // the (equally static) weight multiplier. All three are precomputed here:
-  //
-  //  * CSR layout — every path's links live in one contiguous array
-  //    (path_links/path_off), as do each commodity's path ids
-  //    (cp_ids/cp_off), so the hot scans are linear.
-  //  * path_bneck / path_factor — a path's bottleneck is min capacity over
-  //    its links and its per-link length multiplier is
-  //    1 + eps * bottleneck / cap, both invariant across pushes (capacities
-  //    never change inside the loop; only lengths do).
-  //  * cached_min — a lower bound on each commodity's cheapest-path length
-  //    (the exact minimum after a fresh scan, or the shared last-link bound
-  //    after a skipped rescan). Lengths only ever grow (every push
-  //    multiplies by a factor > 1), so a bound already at or above the phase
-  //    threshold proves the current minimum is too, and the whole commodity
-  //    is skipped with one compare. A bound at or above 1 retires the
-  //    commodity outright (thresholds never exceed 1), shrinking the active
-  //    list as the run converges.
-  //
-  // When a commodity IS consulted, its path lengths are recomputed by fresh
-  // scans in link order — the identical floating-point sum the reference
-  // computes — so every comparison, push choice, and weight update matches
-  // the reference bit for bit. (An earlier draft maintained a link->path
-  // inverted index with per-push dirty marking instead; with WAN links
-  // shared by thousands of paths it performed billions of mark writes per
-  // solve and lost to the reference by 30x.)
-  std::vector<int32_t> path_off(num_paths + 1, 0);
-  size_t total_links = 0;
-  for (size_t i = 0; i < num_paths; ++i) {
-    total_links += paths[i].links.size();
-    path_off[i + 1] = static_cast<int32_t>(total_links);
+  std::vector<int32_t> all_commodities(ws.num_commodities);
+  for (size_t c = 0; c < ws.num_commodities; ++c) {
+    all_commodities[c] = static_cast<int32_t>(c);
   }
-  std::vector<int32_t> path_links(total_links);
-  std::vector<double> path_factor(total_links);
-  std::vector<double> path_bneck(num_paths);
-  for (size_t i = 0; i < num_paths; ++i) {
-    double bottleneck = std::numeric_limits<double>::infinity();
-    for (int l : paths[i].links) {
-      bottleneck = std::min(bottleneck, cap[static_cast<size_t>(l)]);
-    }
-    path_bneck[i] = bottleneck;
-    size_t j = static_cast<size_t>(path_off[i]);
-    for (int l : paths[i].links) {
-      path_links[j] = l;
-      path_factor[j] = 1.0 + epsilon * bottleneck / cap[static_cast<size_t>(l)];
-      ++j;
-    }
-  }
-  std::vector<int32_t> cp_off(num_commodities + 1, 0);
-  std::vector<int32_t> cp_ids;
-  cp_ids.reserve(num_paths);
-  for (size_t c = 0; c < num_commodities; ++c) {
-    for (int pi : flat.commodity_paths[c]) {
-      cp_ids.push_back(pi);
-    }
-    cp_off[c + 1] = static_cast<int32_t>(cp_ids.size());
-  }
-
-  // Shared-structure detection. Every commodity RouteBlocks emits shares one
-  // uplink (first link), one downlink (second-to-last) and its private demand
-  // edge (last link) across all of its paths; only the WAN middle differs.
-  // Detecting that shape generically buys two things, both bit-exact:
-  //  * the scan hoists the three shared length loads out of the per-path
-  //    loop (same values, same addition order, fewer gathers), and
-  //  * after a push, the freshly grown shared last-link length is already a
-  //    lower bound on every sibling path's sum — a rounded sum of positives
-  //    is never below any one addend — so when that bound alone clears the
-  //    threshold the confirmation rescan is skipped outright.
-  std::vector<int32_t> com_first(num_commodities, -1);
-  std::vector<int32_t> com_penult(num_commodities, -1);
-  std::vector<int32_t> com_last(num_commodities, -1);
-  std::vector<uint8_t> com_structured(num_commodities, 0);
-  for (size_t c = 0; c < num_commodities; ++c) {
-    bool ok = cp_off[c] != cp_off[c + 1];
-    int32_t first = -1, penult = -1, last = -1;
-    for (int32_t idx = cp_off[c]; ok && idx < cp_off[c + 1]; ++idx) {
-      const int32_t pi = cp_ids[static_cast<size_t>(idx)];
-      const int32_t b = path_off[pi], e = path_off[pi + 1];
-      if (e - b < 3) {
-        ok = false;
-        break;
-      }
-      if (idx == cp_off[c]) {
-        first = path_links[static_cast<size_t>(b)];
-        penult = path_links[static_cast<size_t>(e - 2)];
-        last = path_links[static_cast<size_t>(e - 1)];
-      } else if (path_links[static_cast<size_t>(b)] != first ||
-                 path_links[static_cast<size_t>(e - 2)] != penult ||
-                 path_links[static_cast<size_t>(e - 1)] != last) {
-        ok = false;
-      }
-    }
-    if (ok) {
-      com_structured[c] = 1;
-      com_first[c] = first;
-      com_penult[c] = penult;
-      com_last[c] = last;
-    }
-  }
-  // Middle segment (everything between the shared first link and shared
-  // last two) in CSR form; empty ranges for unstructured commodities' paths.
-  std::vector<int32_t> mid_off(num_paths + 1, 0);
-  std::vector<int32_t> mid_links;
-  mid_links.reserve(total_links);
-  for (size_t i = 0; i < num_paths; ++i) {
-    if (com_structured[static_cast<size_t>(paths[i].commodity)]) {
-      for (int32_t j = path_off[i] + 1; j < path_off[i + 1] - 2; ++j) {
-        mid_links.push_back(path_links[static_cast<size_t>(j)]);
-      }
-    }
-    mid_off[i + 1] = static_cast<int32_t>(mid_links.size());
-  }
-
-  // Fully unrolled scan kinds for the controller's dominant commodity shapes.
-  // A structured commodity whose paths all have at most two middle links gets
-  // its middles padded to exactly two slots with a sentinel edge of length
-  // 0.0 (one extra slot past the real edges, never multiplied by any push).
-  // Adding 0.0 to a positive partial sum is bitwise a no-op under round-to-
-  // nearest, so the padded straight-line sum produces the identical double —
-  // but the scan becomes branch-free: three independent four-add chains the
-  // CPU can overlap, instead of a nested loop with data-dependent trip
-  // counts. Commodities with other shapes keep the hoisted or generic loops.
-  constexpr uint8_t kGeneric = 0, kStructured = 1, kFast3 = 2, kFast1 = 3;
-  const int32_t sentinel = static_cast<int32_t>(num_edges);
-  std::vector<uint8_t> com_kind(num_commodities, kGeneric);
-  std::vector<int32_t> fm_base(num_commodities, -1);
-  std::vector<int32_t> fast_mids;
-  fast_mids.reserve(2 * num_paths);
-  for (size_t c = 0; c < num_commodities; ++c) {
-    if (!com_structured[c]) {
-      continue;
-    }
-    com_kind[c] = kStructured;
-    const int32_t pcount = cp_off[c + 1] - cp_off[c];
-    if (pcount != 3 && pcount != 1) {
-      continue;
-    }
-    bool small = true;
-    for (int32_t idx = cp_off[c]; idx < cp_off[c + 1]; ++idx) {
-      const int32_t pi = cp_ids[static_cast<size_t>(idx)];
-      if (mid_off[pi + 1] - mid_off[pi] > 2) {
-        small = false;
-        break;
-      }
-    }
-    if (!small) {
-      continue;
-    }
-    com_kind[c] = pcount == 3 ? kFast3 : kFast1;
-    fm_base[c] = static_cast<int32_t>(fast_mids.size());
-    for (int32_t idx = cp_off[c]; idx < cp_off[c + 1]; ++idx) {
-      const int32_t pi = cp_ids[static_cast<size_t>(idx)];
-      for (int32_t j = mid_off[pi]; j < mid_off[pi + 1]; ++j) {
-        fast_mids.push_back(mid_links[static_cast<size_t>(j)]);
-      }
-      for (int32_t pad = mid_off[pi + 1] - mid_off[pi]; pad < 2; ++pad) {
-        fast_mids.push_back(sentinel);
-      }
-    }
-  }
-  // Padded push rows for the fast kinds: every fast path's links as exactly
-  // five (link, factor) slots — shared first, two middles, shared last two —
-  // with sentinel slots carrying factor 1.0 (0.0 * 1.0 == +0.0, bitwise).
-  // The push becomes five branch-free multiply-stores; each real link is
-  // still multiplied exactly once by its exact reference factor.
-  std::vector<int32_t> push5_ids(5 * num_paths, sentinel);
-  std::vector<double> push5_fac(5 * num_paths, 1.0);
-  for (size_t c = 0; c < num_commodities; ++c) {
-    if (com_kind[c] != kFast3 && com_kind[c] != kFast1) {
-      continue;
-    }
-    for (int32_t idx = cp_off[c]; idx < cp_off[c + 1]; ++idx) {
-      const int32_t pi = cp_ids[static_cast<size_t>(idx)];
-      int32_t* ids = push5_ids.data() + 5 * static_cast<size_t>(pi);
-      double* fac = push5_fac.data() + 5 * static_cast<size_t>(pi);
-      int slot = 0;
-      for (int32_t j = path_off[pi]; j < path_off[pi + 1]; ++j, ++slot) {
-        // Real width is 3..5; middles shorter than 2 leave sentinel slots in
-        // positions 1..2 (already initialized above).
-        const int real = path_off[pi + 1] - path_off[pi];
-        const int pos = j - path_off[pi];
-        const int out = pos == 0 ? 0 : pos >= real - 2 ? pos + (5 - real) : pos;
-        ids[out] = path_links[static_cast<size_t>(j)];
-        fac[out] = path_factor[static_cast<size_t>(j)];
-      }
-    }
-  }
-
-  std::vector<double> cached_min(num_commodities, 0.0);  // Understates; forces
-                                                         // a first fresh scan.
-  std::vector<int32_t> active;
-  active.reserve(num_commodities);
-  for (size_t c = 0; c < num_commodities; ++c) {
-    if (cp_off[c] != cp_off[c + 1]) {
-      active.push_back(static_cast<int32_t>(c));
-    }
-  }
-
-  const int64_t max_pushes = MaxPushes(flat, epsilon, delta);
-  int64_t pushes = 0;
-  // Telemetry accumulators: plain locals bumped in the hot loop, published
-  // to the registry once per solve (disabled cost: nothing per iteration).
-  int64_t phases = 0;
-  int64_t bound_skips = 0;
-  double alpha = delta * static_cast<double>(flat.max_len);
-  while (alpha < 1.0 && pushes < max_pushes) {
-    ++phases;
-    const double threshold = std::min(1.0, alpha * (1.0 + epsilon));
-    size_t out = 0;
-    for (size_t k = 0; k < active.size(); ++k) {
-      const int32_t c = active[k];
-      if (cached_min[static_cast<size_t>(c)] >= threshold) {
-        // Provably nothing to push: the cached minimum understates the
-        // current one. Retire the commodity if even thresholds of 1 are
-        // out of reach.
-        ++bound_skips;
-        if (cached_min[static_cast<size_t>(c)] < 1.0) {
-          active[out++] = c;
-        }
-        continue;
-      }
-      bool retired = false;
-      const uint8_t kind = com_kind[static_cast<size_t>(c)];
-      const size_t cs = static_cast<size_t>(c);
-      // Shared push + post-push bound check for the structured kinds. The
-      // push just grew the shared last link (the demand edge in the
-      // controller's instances — typically the bottleneck). If its length
-      // alone already clears the threshold then so does every sibling path's
-      // sum — a rounded sum of positives is never below any one addend — and
-      // the confirmation rescan is skipped. The bound also stands in for the
-      // cached minimum: it understates the true minimum, which is all the
-      // cache's phase-skip compare needs.
-      auto push_path = [&](int32_t best) {
-        raw_flow[static_cast<size_t>(best)] += path_bneck[static_cast<size_t>(best)];
-        for (int32_t j = path_off[best]; j < path_off[best + 1]; ++j) {
-          length[static_cast<size_t>(path_links[static_cast<size_t>(j)])] *=
-              path_factor[static_cast<size_t>(j)];
-        }
-      };
-      if (kind == kFast3) {
-        const double* L = length.data();
-        const int32_t f0 = com_first[cs], f1 = com_penult[cs], f2 = com_last[cs];
-        const int32_t* fm = fast_mids.data() + fm_base[cs];
-        const int32_t p0 = cp_ids[static_cast<size_t>(cp_off[c])];
-        const int32_t p1 = cp_ids[static_cast<size_t>(cp_off[c]) + 1];
-        const int32_t p2 = cp_ids[static_cast<size_t>(cp_off[c]) + 2];
-        for (;;) {
-          const double h0 = L[f0], h1 = L[f1], h2 = L[f2];
-          double s0 = h0 + L[fm[0]];
-          double s1 = h0 + L[fm[2]];
-          double s2 = h0 + L[fm[4]];
-          s0 += L[fm[1]];
-          s1 += L[fm[3]];
-          s2 += L[fm[5]];
-          s0 += h1;
-          s1 += h1;
-          s2 += h1;
-          s0 += h2;
-          s1 += h2;
-          s2 += h2;
-          double m = s0;
-          int32_t best = p0;
-          if (s1 < m) {
-            m = s1;
-            best = p1;
-          }
-          if (s2 < m) {
-            m = s2;
-            best = p2;
-          }
-          if (m >= threshold) {
-            cached_min[cs] = m;
-            retired = m >= 1.0;
-            break;
-          }
-          raw_flow[static_cast<size_t>(best)] += path_bneck[static_cast<size_t>(best)];
-          {
-            double* Lw = length.data();
-            const int32_t* qi = push5_ids.data() + 5 * static_cast<size_t>(best);
-            const double* qf = push5_fac.data() + 5 * static_cast<size_t>(best);
-            Lw[qi[0]] *= qf[0];
-            Lw[qi[1]] *= qf[1];
-            Lw[qi[2]] *= qf[2];
-            Lw[qi[3]] *= qf[3];
-            Lw[qi[4]] *= qf[4];
-          }
-          if (++pushes >= max_pushes) {
-            break;
-          }
-          const double lb = L[f2];
-          if (lb >= threshold) {
-            cached_min[cs] = lb;
-            retired = lb >= 1.0;
-            ++bound_skips;
-            break;
-          }
-        }
-      } else if (kind == kFast1) {
-        const double* L = length.data();
-        const int32_t f0 = com_first[cs], f1 = com_penult[cs], f2 = com_last[cs];
-        const int32_t* fm = fast_mids.data() + fm_base[cs];
-        const int32_t p0 = cp_ids[static_cast<size_t>(cp_off[c])];
-        for (;;) {
-          double s0 = L[f0] + L[fm[0]];
-          s0 += L[fm[1]];
-          s0 += L[f1];
-          s0 += L[f2];
-          if (s0 >= threshold) {
-            cached_min[cs] = s0;
-            retired = s0 >= 1.0;
-            break;
-          }
-          raw_flow[static_cast<size_t>(p0)] += path_bneck[static_cast<size_t>(p0)];
-          {
-            double* Lw = length.data();
-            const int32_t* qi = push5_ids.data() + 5 * static_cast<size_t>(p0);
-            const double* qf = push5_fac.data() + 5 * static_cast<size_t>(p0);
-            Lw[qi[0]] *= qf[0];
-            Lw[qi[1]] *= qf[1];
-            Lw[qi[2]] *= qf[2];
-            Lw[qi[3]] *= qf[3];
-            Lw[qi[4]] *= qf[4];
-          }
-          if (++pushes >= max_pushes) {
-            break;
-          }
-          const double lb = L[f2];
-          if (lb >= threshold) {
-            cached_min[cs] = lb;
-            retired = lb >= 1.0;
-            ++bound_skips;
-            break;
-          }
-        }
-      } else {
-        const bool structured = kind == kStructured;
-        for (;;) {
-          // Fresh scan of the commodity's paths, in path then link order —
-          // the exact operation sequence (and so the exact doubles) of the
-          // reference's rescan. Strict < keeps the first-wins tie-break.
-          double m = std::numeric_limits<double>::infinity();
-          int32_t best = -1;
-          if (structured) {
-            const double h0 = length[static_cast<size_t>(com_first[cs])];
-            const double h1 = length[static_cast<size_t>(com_penult[cs])];
-            const double h2 = length[static_cast<size_t>(com_last[cs])];
-            for (int32_t idx = cp_off[c]; idx < cp_off[c + 1]; ++idx) {
-              const int32_t pi = cp_ids[static_cast<size_t>(idx)];
-              double s = h0;
-              for (int32_t j = mid_off[pi]; j < mid_off[pi + 1]; ++j) {
-                s += length[static_cast<size_t>(mid_links[static_cast<size_t>(j)])];
-              }
-              s += h1;
-              s += h2;
-              if (s < m) {
-                m = s;
-                best = pi;
-              }
-            }
-          } else {
-            for (int32_t idx = cp_off[c]; idx < cp_off[c + 1]; ++idx) {
-              const int32_t pi = cp_ids[static_cast<size_t>(idx)];
-              double s = 0.0;
-              for (int32_t j = path_off[pi]; j < path_off[pi + 1]; ++j) {
-                s += length[static_cast<size_t>(path_links[static_cast<size_t>(j)])];
-              }
-              if (s < m) {
-                m = s;
-                best = pi;
-              }
-            }
-          }
-          if (m >= threshold) {
-            cached_min[cs] = m;
-            retired = m >= 1.0;
-            break;
-          }
-          push_path(best);
-          if (++pushes >= max_pushes) {
-            break;
-          }
-          if (structured) {
-            const double lb = length[static_cast<size_t>(com_last[cs])];
-            if (lb >= threshold) {
-              cached_min[cs] = lb;
-              retired = lb >= 1.0;
-              ++bound_skips;
-              break;
-            }
-          }
-        }
-      }
-      if (!retired) {
-        active[out++] = c;
-      }
-      if (pushes >= max_pushes) {
-        for (size_t k2 = k + 1; k2 < active.size(); ++k2) {
-          active[out++] = active[k2];
-        }
-        break;
-      }
-    }
-    active.resize(out);
-    alpha *= 1.0 + epsilon;
-  }
+  const int64_t max_pushes = mcf_internal::MaxPushes(flat, epsilon, delta);
+  mcf_internal::FptasLoopStats stats = mcf_internal::RunFptasPushLoop(
+      flat, ws, epsilon, delta, max_pushes, all_commodities, length, raw_flow);
 
   BDS_TELEMETRY_COUNT("fptas.solves", 1);
-  BDS_TELEMETRY_COUNT("fptas.pushes", pushes);
-  BDS_TELEMETRY_COUNT("fptas.phases", phases);
-  BDS_TELEMETRY_COUNT("fptas.bound_skips", bound_skips);
-  BDS_TELEMETRY_COUNT("fptas.commodities_retired",
-                      static_cast<int64_t>(num_commodities - active.size()));
+  BDS_TELEMETRY_COUNT("fptas.pushes", stats.pushes);
+  BDS_TELEMETRY_COUNT("fptas.phases", stats.phases);
+  BDS_TELEMETRY_COUNT("fptas.bound_skips", stats.bound_skips);
+  BDS_TELEMETRY_COUNT("fptas.commodities_retired", stats.commodities_retired);
   telemetry::TraceInstant("fptas.solve", "lp",
-                          {{"commodities", static_cast<double>(num_commodities)},
-                           {"paths", static_cast<double>(num_paths)},
-                           {"pushes", static_cast<double>(pushes)},
-                           {"phases", static_cast<double>(phases)}});
-  FinalizeFptas(flat, epsilon, delta, raw_flow, result);
+                          {{"commodities", static_cast<double>(ws.num_commodities)},
+                           {"paths", static_cast<double>(ws.num_paths)},
+                           {"pushes", static_cast<double>(stats.pushes)},
+                           {"phases", static_cast<double>(stats.phases)}});
+  mcf_internal::FinalizeFptas(flat, epsilon, delta, raw_flow, result);
   return result;
 }
-
 
 double MaxCapacityViolation(const McfInstance& instance, const McfResult& result) {
   std::vector<double> load(static_cast<size_t>(instance.num_links()), 0.0);

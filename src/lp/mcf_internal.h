@@ -1,0 +1,147 @@
+// Shared internals of the Fleischer/Garg–Könemann FPTAS solvers.
+//
+// SolveMcfFptas, SolveMcfFptasReference, and SolveMcfFptasSharded all run the
+// same multiplicative-weights dynamics over the same flattened instance; this
+// header exposes the pieces they share so the sharded solver (mcf_shard.cc)
+// can be bit-compatible with the global one by construction:
+//
+//  * FlatMcf / FlattenMcf — the flattened form (demands reduced to virtual
+//    edges, dead paths dropped). Every derived constant of the algorithm —
+//    delta, the alpha phase ladder, the push budget, the finalize scale —
+//    is a function of THIS struct, so two solvers sharing one FlatMcf share
+//    the exact numeric trajectory.
+//  * FptasWorkspace — the CSR layout + structured-shape acceleration tables
+//    of the tuned solver, precomputed once per instance.
+//  * RunFptasPushLoop — the tuned phase loop, parameterized by the commodity
+//    subset it may push for. Restricted to a subset whose paths are
+//    link-disjoint from every other subset's, the loop performs the
+//    identical push sequence (same doubles, same order per commodity) as the
+//    full run, because no outside push can touch the lengths it reads. That
+//    property is what makes per-shard solves mergeable without any epsilon
+//    of divergence (see DESIGN.md "Sharded controller").
+//  * FinalizeFptas — theoretical rescale + global feasibility normalization
+//    + two greedy augmentation rounds. In the sharded solver this IS the
+//    merge step: it enforces the global capacity budget over the combined
+//    raw flow and rebalances slack, and it is a pure function of (flat,
+//    raw_flow) — order-independent of how the raw flow was produced.
+//
+// Everything here is an implementation detail: no stability promised.
+
+#ifndef BDS_SRC_LP_MCF_INTERNAL_H_
+#define BDS_SRC_LP_MCF_INTERNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lp/mcf.h"
+
+namespace bds {
+namespace mcf_internal {
+
+// Flattened form of an McfInstance: paths with one virtual "demand edge"
+// appended per capped commodity so demands reduce to ordinary capacities
+// (standard reduction). Dead paths (through a zero-capacity edge) are
+// dropped here so every solver sees the same path set.
+struct FlatPath {
+  int commodity;
+  int path_index;
+  std::vector<int> links;  // Includes the virtual demand edge if any.
+};
+
+struct FlatMcf {
+  std::vector<double> cap;
+  std::vector<FlatPath> paths;
+  // Flattened path ids grouped by commodity, in path order.
+  std::vector<std::vector<int>> commodity_paths;
+  size_t max_len = 1;
+
+  size_t num_edges() const { return cap.size(); }
+};
+
+FlatMcf FlattenMcf(const McfInstance& instance);
+
+// Garg–Könemann initialization; depends on the GLOBAL edge count, which is
+// why per-shard solves must share the global FlatMcf rather than flatten
+// their own slice.
+double FptasDelta(const FlatMcf& flat, double epsilon);
+
+// Push-count cap shared by the solvers (bounds a wedged multiplicative-
+// weights loop; generous against the theoretical phase bound).
+int64_t MaxPushes(const FlatMcf& flat, double epsilon, double delta);
+
+// An all-zero result shaped like `instance` (ok stays false).
+McfResult MakeEmptyFptasResult(const McfInstance& instance);
+
+// Theoretical scaling, then exact feasibility normalization: divide by the
+// worst edge utilization so no capacity or demand is exceeded, then top each
+// path up with its residual slack (two greedy rounds in global path order),
+// making the final flow maximal. Scatters into `result` and accumulates
+// total_flow.
+void FinalizeFptas(const FlatMcf& flat, double epsilon, double delta,
+                   std::vector<double>& raw_flow, McfResult& result);
+
+// Precomputed acceleration tables for RunFptasPushLoop (the tuned solver's
+// CSR layout, per-path bottlenecks/factors, structured-shape detection and
+// padded fast rows). Pure function of (flat, epsilon); read-only during the
+// loop, so one workspace serves any number of concurrent per-shard loops.
+struct FptasWorkspace {
+  FptasWorkspace(const FlatMcf& flat, double epsilon);
+
+  size_t num_edges = 0;
+  size_t num_paths = 0;
+  size_t num_commodities = 0;
+  // CSR: path i's links at path_links[path_off[i] .. path_off[i+1]).
+  std::vector<int32_t> path_off;
+  std::vector<int32_t> path_links;
+  std::vector<double> path_factor;  // Per-link length multiplier of a push.
+  std::vector<double> path_bneck;   // Static bottleneck capacity per path.
+  // CSR: commodity c's path ids at cp_ids[cp_off[c] .. cp_off[c+1]).
+  std::vector<int32_t> cp_off;
+  std::vector<int32_t> cp_ids;
+  // Structured-shape tables (shared first/penultimate/last links; see
+  // SolveMcfFptas's commentary).
+  std::vector<int32_t> com_first;
+  std::vector<int32_t> com_penult;
+  std::vector<int32_t> com_last;
+  std::vector<uint8_t> com_kind;  // kGeneric/kStructured/kFast3/kFast1.
+  std::vector<int32_t> mid_off;
+  std::vector<int32_t> mid_links;
+  std::vector<int32_t> fm_base;
+  std::vector<int32_t> fast_mids;
+  std::vector<int32_t> push5_ids;
+  std::vector<double> push5_fac;
+
+  static constexpr uint8_t kGeneric = 0, kStructured = 1, kFast3 = 2, kFast1 = 3;
+};
+
+struct FptasLoopStats {
+  int64_t pushes = 0;
+  int64_t phases = 0;
+  int64_t bound_skips = 0;
+  int64_t commodities_retired = 0;
+};
+
+// The tuned Fleischer phase loop over the commodities in `commodities`
+// (ascending global ids; commodities without paths are skipped). Reads and
+// multiplies `length` (size flat.num_edges() + 1; the last slot is the
+// sentinel padding edge and must be 0.0) and accumulates into `raw_flow`
+// (size flat.num_paths(); only the subset's paths are touched). delta and
+// max_pushes must come from the global flat (FptasDelta / MaxPushes).
+//
+// Determinism/parity contract: with `commodities` = all commodities this is
+// exactly SolveMcfFptas's loop. With a strict subset whose paths are
+// link-disjoint from the complement's, the loop's pushes are bit-identical
+// to the corresponding pushes of the full run (the only state coupling
+// between commodities is shared link lengths). max_pushes is counted per
+// call, so a run that hits the cap — only a wedged run does — may diverge
+// from the global count's cut-off point; see DESIGN.md.
+FptasLoopStats RunFptasPushLoop(const FlatMcf& flat, const FptasWorkspace& ws,
+                                double epsilon, double delta, int64_t max_pushes,
+                                const std::vector<int32_t>& commodities,
+                                std::vector<double>& length,
+                                std::vector<double>& raw_flow);
+
+}  // namespace mcf_internal
+}  // namespace bds
+
+#endif  // BDS_SRC_LP_MCF_INTERNAL_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <map>
 #include <queue>
 #include <tuple>
@@ -10,6 +11,7 @@
 
 #include "src/common/status.h"
 #include "src/lp/mcf.h"
+#include "src/lp/mcf_shard.h"
 #include "src/telemetry/telemetry.h"
 #include "src/topology/path.h"
 
@@ -19,6 +21,15 @@ namespace {
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Process CPU clock for the per-phase decision timings: unlike the wall
+// timers above it charges worker-thread time too, so the bench's "cycle CPU
+// under budget" acceptance can't be gamed by adding threads.
+double ProcessCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
 }  // namespace
@@ -35,6 +46,7 @@ ControllerAlgorithm::ControllerAlgorithm(const Topology* topo, const WanRoutingT
   BDS_CHECK(options_.max_wan_routes >= 1);
   BDS_CHECK(options_.budget_fraction > 0.0 && options_.budget_fraction <= 1.0);
   BDS_CHECK(options_.num_threads >= 1);
+  BDS_CHECK(options_.num_shards >= 1);
 }
 
 std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
@@ -160,81 +172,213 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     return h;
   };
   const SchedulingPolicy policy = options_.policy;
-  // The candidate build touches every pending delivery (up to 10^6 at the
-  // Fig 11a scale). The streaming pass emits packed keys and duplicate
-  // counts in discovery order; the salt hashes — the arithmetic bulk — are
-  // either fused into the same pass (serial) or filled in by the pool over
-  // pre-sized slots (thread-count-invariant). Both orders of operations
-  // produce the identical array. kSequential's salt is the key itself:
-  // packed coordinates sort exactly like pending indices.
-  const bool parallel_salt =
-      pool_.num_threads() > 1 && policy != SchedulingPolicy::kSequential;
+  const int num_shards = options_.num_shards;
+  // The candidate build touches every pending delivery (up to 10^7 at the
+  // fleet scale). Two builders, byte-identical output:
+  //  * Unsharded: one streaming pass emits packed keys and duplicate counts
+  //    in discovery order; the salt hashes — the arithmetic bulk — are
+  //    either fused into the same pass (serial) or filled in by the pool
+  //    over pre-sized slots (thread-count-invariant). kSequential's salt is
+  //    the key itself: packed coordinates sort exactly like pending indices.
+  //  * Sharded (num_shards > 1): (job, block-chunk) units are priced with
+  //    CountOwedInRange (one popcount per block, in parallel), prefix-summed
+  //    into exact slots of the global array, and filled in parallel with
+  //    ForEachOwedInRange + fused salts. Slots reproduce ForEachOwed order
+  //    exactly, so the array — and everything downstream — is identical.
   std::vector<Candidate> initial;
-  initial.reserve(static_cast<size_t>(state.num_pending()));
-  state.ForEachOwed(
-      [&](size_t jp, const MulticastJob& job, int64_t block, size_t dp, DcId dc, int dups) {
-        const uint64_t key = pack_key(jp, block, dp);
-        uint64_t salt = key;
-        if (policy != SchedulingPolicy::kSequential) {
-          salt = parallel_salt ? 0 : candidate_salt(job.id, block, dc);
-        }
-        initial.push_back(
-            Candidate{policy == SchedulingPolicy::kRarestFirst ? dups : 0, salt, key});
-      });
-  if (parallel_salt) {
-    pool_.For(initial.size(), [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        const uint64_t key = initial[i].key;
-        const MulticastJob* job = jobs_by_pos[key >> 48];
-        initial[i].salt =
-            candidate_salt(job->id, static_cast<int64_t>((key >> 6) & kBlockMask),
-                           job->dest_dcs[key & 63]);
+  if (num_shards > 1) {
+    struct BuildUnit {
+      size_t jp = 0;
+      int64_t b0 = 0, b1 = 0;
+      size_t offset = 0;
+    };
+    constexpr int64_t kBuildChunk = int64_t{1} << 16;
+    std::vector<BuildUnit> units;
+    for (size_t jp = 0; jp < jobs_by_pos.size(); ++jp) {
+      const int64_t nblocks = jobs_by_pos[jp]->num_blocks();
+      for (int64_t b0 = 0; b0 < nblocks; b0 += kBuildChunk) {
+        units.push_back(BuildUnit{jp, b0, std::min(nblocks, b0 + kBuildChunk), 0});
+      }
+    }
+    std::vector<int64_t> unit_count(units.size(), 0);
+    pool_.For(units.size(), [&](size_t begin, size_t end) {
+      for (size_t u = begin; u < end; ++u) {
+        unit_count[u] = state.CountOwedInRange(units[u].jp, units[u].b0, units[u].b1);
       }
     });
+    size_t total = 0;
+    for (size_t u = 0; u < units.size(); ++u) {
+      units[u].offset = total;
+      total += static_cast<size_t>(unit_count[u]);
+    }
+    BDS_CHECK(total == static_cast<size_t>(state.num_pending()));
+    initial.resize(total);
+    pool_.ForWeighted(unit_count, [&](size_t begin, size_t end) {
+      for (size_t u = begin; u < end; ++u) {
+        size_t w = units[u].offset;
+        state.ForEachOwedInRange(
+            units[u].jp, units[u].b0, units[u].b1,
+            [&](size_t jp, const MulticastJob& job, int64_t block, size_t dp, DcId dc,
+                int dups) {
+              const uint64_t key = pack_key(jp, block, dp);
+              initial[w++] = Candidate{
+                  policy == SchedulingPolicy::kRarestFirst ? dups : 0,
+                  policy == SchedulingPolicy::kSequential ? key
+                                                          : candidate_salt(job.id, block, dc),
+                  key};
+            });
+        BDS_CHECK(w == units[u].offset + static_cast<size_t>(unit_count[u]));
+      }
+    });
+  } else {
+    const bool parallel_salt =
+        pool_.num_threads() > 1 && policy != SchedulingPolicy::kSequential;
+    initial.reserve(static_cast<size_t>(state.num_pending()));
+    state.ForEachOwed(
+        [&](size_t jp, const MulticastJob& job, int64_t block, size_t dp, DcId dc, int dups) {
+          const uint64_t key = pack_key(jp, block, dp);
+          uint64_t salt = key;
+          if (policy != SchedulingPolicy::kSequential) {
+            salt = parallel_salt ? 0 : candidate_salt(job.id, block, dc);
+          }
+          initial.push_back(
+              Candidate{policy == SchedulingPolicy::kRarestFirst ? dups : 0, salt, key});
+        });
+    if (parallel_salt) {
+      pool_.For(initial.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint64_t key = initial[i].key;
+          const MulticastJob* job = jobs_by_pos[key >> 48];
+          initial[i].salt =
+              candidate_salt(job->id, static_cast<int64_t>((key >> 6) & kBlockMask),
+                             job->dest_dcs[key & 63]);
+        }
+      });
+    }
   }
 
   // Candidate queue. Pops always extract the global minimum of the remaining
   // candidates under the strict total order (eff_dup, salt, index) — indices
-  // are unique, so the order has no ties and any correct implementation pops
-  // the identical sequence. Two implementations:
+  // are unique, so the order has no ties and ANY correct implementation pops
+  // the identical sequence. That is the whole parity argument for sharding
+  // the queue: K per-shard queues over contiguous ranges of the array plus a
+  // K-way merge at pop time still return the global minimum every time.
+  // Implementations (selected by the early-exit knob and num_shards):
   //  * heap: O(P) heapify up front (never per-push insertion — at 10^6
-  //    outstanding blocks that alone would blow Fig 11a's budget);
+  //    outstanding blocks that alone would blow Fig 11a's budget). With
+  //    K > 1, one min-heap per shard range, heapified in parallel.
   //  * chunked (with the early-exit knob): nth_element carves the kChunk
-  //    smallest candidates out of the unsorted tail and sorts just those;
-  //    stale re-pushes go to a small side heap merged at pop time. Every
-  //    tail element is >= every carved element, so min(run front, side top)
-  //    is the global minimum. The early exit keeps the pop count in the
-  //    thousands, so one carve usually suffices and the heapify pass over
-  //    millions of entries disappears.
+  //    smallest candidates out of the shard's unsorted tail and sorts just
+  //    those; stale re-pushes go to a small global side heap merged at pop
+  //    time. Every tail element is >= every carved element of its shard, so
+  //    min(shard run fronts, side top) is the global minimum. The early exit
+  //    keeps the pop count in the thousands, so one carve per shard usually
+  //    suffices. With K > 1 the initial carves run in parallel (each shard's
+  //    carve touches only its own range); re-carves happen lazily in-pop.
   const bool chunked = options_.use_sched_early_exit;
   constexpr size_t kChunk = 16384;
   auto cand_less = [](const Candidate& a, const Candidate& b) { return b > a; };
+  auto cand_greater = [](const Candidate& a, const Candidate& b) { return a > b; };
+  struct ShardQueue {
+    size_t begin = 0, end = 0;        // This shard's slice of cands.
+    size_t run_pos = 0, run_end = 0;  // Chunked: sorted run.
+    size_t tail = 0;                  // Chunked: unsorted remainder start.
+    size_t heap_end = 0;              // Heap mode: min-heap over [begin, heap_end).
+  };
   std::vector<Candidate> cands;
-  size_t run_pos = 0, run_end = 0, tail = 0;  // Sorted [run_pos, run_end), raw [tail, size).
+  std::vector<ShardQueue> shards;
   std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>> side;
-  if (chunked) {
+  // Legacy K == 1 heap mode keeps the single priority_queue path untouched.
+  const bool shard_queues = chunked || num_shards > 1;
+  auto carve = [&](ShardQueue& sh) {  // Pre: sh.tail < sh.end.
+    const size_t k = std::min(kChunk, sh.end - sh.tail);
+    auto begin = cands.begin() + static_cast<ptrdiff_t>(sh.tail);
+    auto shard_end = cands.begin() + static_cast<ptrdiff_t>(sh.end);
+    std::nth_element(begin, begin + static_cast<ptrdiff_t>(k) - 1, shard_end, cand_less);
+    std::sort(begin, begin + static_cast<ptrdiff_t>(k), cand_less);
+    sh.run_pos = sh.tail;
+    sh.run_end = sh.tail + k;
+    sh.tail = sh.run_end;
+  };
+  if (shard_queues) {
     cands = std::move(initial);
+    const size_t n = cands.size();
+    const size_t S = static_cast<size_t>(num_shards);
+    shards.resize(S);
+    for (size_t s = 0; s < S; ++s) {
+      ShardQueue& sh = shards[s];
+      sh.begin = n * s / S;
+      sh.end = n * (s + 1) / S;
+      sh.run_pos = sh.run_end = sh.tail = sh.begin;
+      sh.heap_end = sh.end;
+    }
+    if (!chunked) {
+      pool_.For(S, [&](size_t b, size_t e) {
+        for (size_t s = b; s < e; ++s) {
+          std::make_heap(cands.begin() + static_cast<ptrdiff_t>(shards[s].begin),
+                         cands.begin() + static_cast<ptrdiff_t>(shards[s].end), cand_greater);
+        }
+      });
+    } else if (S > 1) {
+      pool_.For(S, [&](size_t b, size_t e) {
+        for (size_t s = b; s < e; ++s) {
+          if (shards[s].tail < shards[s].end) {
+            carve(shards[s]);
+          }
+        }
+      });
+    }
   } else {
     side = std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>>(
         std::greater<Candidate>{}, std::move(initial));
   }
   auto queue_empty = [&] {
-    return side.empty() && (!chunked || (run_pos == run_end && tail >= cands.size()));
+    if (!side.empty()) {
+      return false;
+    }
+    for (const ShardQueue& sh : shards) {
+      if (chunked ? (sh.run_pos < sh.run_end || sh.tail < sh.end) : (sh.begin < sh.heap_end)) {
+        return false;
+      }
+    }
+    return true;
   };
   auto queue_pop = [&]() -> Candidate {
-    if (chunked) {
-      if (run_pos == run_end && tail < cands.size()) {
-        const size_t k = std::min(kChunk, cands.size() - tail);
-        auto begin = cands.begin() + static_cast<ptrdiff_t>(tail);
-        std::nth_element(begin, begin + static_cast<ptrdiff_t>(k) - 1, cands.end(), cand_less);
-        std::sort(begin, begin + static_cast<ptrdiff_t>(k), cand_less);
-        run_pos = tail;
-        run_end = tail + k;
-        tail = run_end;
+    const Candidate* best = nullptr;
+    size_t best_s = 0;
+    for (size_t s = 0; s < shards.size(); ++s) {
+      ShardQueue& sh = shards[s];
+      if (chunked) {
+        if (sh.run_pos == sh.run_end) {
+          if (sh.tail >= sh.end) {
+            continue;
+          }
+          carve(sh);
+        }
+        const Candidate& front = cands[sh.run_pos];
+        if (best == nullptr || *best > front) {
+          best = &front;
+          best_s = s;
+        }
+      } else {
+        if (sh.begin >= sh.heap_end) {
+          continue;
+        }
+        const Candidate& front = cands[sh.begin];
+        if (best == nullptr || *best > front) {
+          best = &front;
+          best_s = s;
+        }
       }
-      if (run_pos < run_end && (side.empty() || side.top() > cands[run_pos])) {
-        return cands[run_pos++];
+    }
+    if (best != nullptr && (side.empty() || side.top() > *best)) {
+      ShardQueue& sh = shards[best_s];
+      if (chunked) {
+        return cands[sh.run_pos++];
       }
+      std::pop_heap(cands.begin() + static_cast<ptrdiff_t>(sh.begin),
+                    cands.begin() + static_cast<ptrdiff_t>(sh.heap_end), cand_greater);
+      return cands[--sh.heap_end];
     }
     Candidate c = side.top();
     side.pop();
@@ -396,6 +540,7 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
   if (selected.empty()) {
     return;
   }
+  const double route_cpu0 = ProcessCpuSeconds();
 
   // Merge deliveries into subtasks keyed by (src, dst) server pair (§5.1);
   // with merging disabled every delivery is its own commodity.
@@ -478,10 +623,31 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
     }
   });
 
-  McfResult flows = options_.use_exact_lp ? SolveMcfSimplex(instance)
-                    : options_.use_incremental_fptas
-                        ? SolveMcfFptas(instance, options_.fptas_epsilon)
-                        : SolveMcfFptasReference(instance, options_.fptas_epsilon);
+  // Solver dispatch. The sharded solver requires the incremental FPTAS (it
+  // is that solver's push loop run per link-disjoint group) — exact-LP and
+  // reference-FPTAS runs ignore num_shards.
+  McfShardStats shard_stats;
+  McfResult flows;
+  if (options_.use_exact_lp) {
+    flows = SolveMcfSimplex(instance);
+  } else if (!options_.use_incremental_fptas) {
+    flows = SolveMcfFptasReference(instance, options_.fptas_epsilon);
+  } else if (options_.num_shards > 1) {
+    McfShardOptions shard_options;
+    shard_options.num_shards = options_.num_shards;
+    flows = SolveMcfFptasSharded(instance, options_.fptas_epsilon, shard_options, &pool_,
+                                 &shard_stats);
+    decision.num_shard_components = shard_stats.num_components;
+    decision.num_shard_groups = shard_stats.num_groups;
+  } else {
+    flows = SolveMcfFptas(instance, options_.fptas_epsilon);
+  }
+  // Phase accounting: instance build + push loops count as "solve"; the
+  // sharded solver's global finalize is the shard merge and is charged to
+  // "merge" along with the block-split/transfer-emission tail below.
+  const double solve_cpu_end = ProcessCpuSeconds();
+  decision.solve_cpu_seconds += (solve_cpu_end - route_cpu0) - shard_stats.merge_seconds;
+  decision.merge_cpu_seconds += shard_stats.merge_seconds;
   if (!flows.ok) {
     return;  // No routing possible this cycle (e.g. LP hit iteration limit).
   }
@@ -525,6 +691,7 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
       decision.transfers.push_back(std::move(t));
     }
   }
+  decision.merge_cpu_seconds += ProcessCpuSeconds() - solve_cpu_end;
 }
 
 std::vector<int64_t> SplitBlocksAcrossPaths(int64_t num_blocks,
@@ -571,11 +738,13 @@ CycleDecision ControllerAlgorithm::Decide(int64_t cycle, const ReplicaState& sta
   decision.cycle = cycle;
 
   auto t0 = std::chrono::steady_clock::now();
+  const double select_cpu0 = ProcessCpuSeconds();
   std::vector<Selected> selected;
   {
     BDS_TIMED_SCOPE("scheduler.schedule");
     selected = ScheduleBlocks(state, residual_capacities, in_flight);
   }
+  decision.select_cpu_seconds = ProcessCpuSeconds() - select_cpu0;
   decision.scheduled_blocks = static_cast<int64_t>(selected.size());
   decision.scheduling_seconds = SecondsSince(t0);
 

@@ -101,6 +101,18 @@ struct ControllerAlgorithmOptions {
   // independent work out over a small pool. Decisions are byte-identical
   // for every value (deterministic static partitioning, per-slot writes).
   int num_threads = 1;
+  // Fleet-scale sharding (DESIGN.md "Sharded controller"). With K > 1 the
+  // cycle's work is partitioned K ways: the candidate array is built in
+  // exact per-shard slots (CountOwedInRange pricing) and carved/heapified
+  // per contiguous shard with a K-way merge pop, and the routing FPTAS runs
+  // per link-disjoint commodity group (SolveMcfFptasSharded) with one global
+  // finalize as the merge under the bandwidth-separator budget. Decisions
+  // are bit-identical to num_shards = 1 for ANY shard and thread count —
+  // selection pops the same strict total order and the per-group push loops
+  // share the global instance's constants (see the shard-parity suite).
+  // Ignored by schedule_all / use_exact_lp, whose solvers have no shard
+  // seam.
+  int num_shards = 1;
 };
 
 class ControllerAlgorithm {
@@ -119,6 +131,12 @@ class ControllerAlgorithm {
   // route sets may have changed (rebuild, link fault); capacity-only changes
   // never require it.
   void InvalidatePathCache() { path_cache_.Invalidate(); }
+
+  // Hit/miss/invalidation counters of the overlay path cache (see
+  // ServerPathCache::Stats). Sharded and unsharded runs over the same cycle
+  // sequence must observe identical miss and invalidation counts — asserted
+  // by the path-cache shard test.
+  ServerPathCache::Stats path_cache_stats() const { return path_cache_.stats(); }
 
   const ControllerAlgorithmOptions& options() const { return options_; }
 

@@ -36,6 +36,21 @@ struct CycleDecision {
   int64_t scheduled_blocks = 0;   // Block deliveries picked this cycle.
   int64_t merged_subtasks = 0;    // Commodities after merging.
 
+  // Per-phase CPU time (CLOCK_PROCESS_CPUTIME_ID, so worker-thread time is
+  // included): selection, MCF solve, and the merge/assembly tail (shard
+  // merge + block-to-path splitting + transfer emission). The bench JSON
+  // reports these so shard-merge overhead stays visible. Like the wall
+  // timings above, they are EXCLUDED from Fingerprint().
+  double select_cpu_seconds = 0.0;
+  double solve_cpu_seconds = 0.0;
+  double merge_cpu_seconds = 0.0;
+  // Shard observability (also excluded from the fingerprint — the sharded
+  // and unsharded paths must fingerprint identically): link-sharing
+  // components found and per-shard groups solved; both 0 when the solve ran
+  // unsharded.
+  int num_shard_components = 0;
+  int num_shard_groups = 0;
+
   double total_seconds() const { return scheduling_seconds + routing_seconds; }
 
   // Order-sensitive digest of everything the agents would act on — the

@@ -12,6 +12,8 @@
 #ifndef BDS_SRC_SCHEDULER_REPLICA_STATE_H_
 #define BDS_SRC_SCHEDULER_REPLICA_STATE_H_
 
+#include <algorithm>
+#include <bit>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -108,6 +110,44 @@ class ReplicaState {
           if ((bi.dc_owed & (uint64_t{1} << dests[dp])) != 0) {
             fn(jp, info.job, b, dp, dests[dp], static_cast<int>(bi.holders.size()));
           }
+        }
+      }
+    }
+  }
+
+  // Range-restricted variants for the sharded candidate build: the owed
+  // deliveries of job position `jp` whose block is in [block_begin,
+  // block_end), in the same (block, dc_pos) order ForEachOwed visits them.
+  // CountOwedInRange prices a range without visiting destinations (one
+  // popcount per block), so the controller can carve the global candidate
+  // array into exact per-shard slots and fill them in parallel.
+  int64_t CountOwedInRange(size_t jp, int64_t block_begin, int64_t block_end) const {
+    const JobInfo& info = jobs_.find(job_ids_[jp])->second;
+    const int64_t end =
+        std::min<int64_t>(block_end, static_cast<int64_t>(info.blocks.size()));
+    int64_t count = 0;
+    for (int64_t b = std::max<int64_t>(0, block_begin); b < end; ++b) {
+      // dc_owed only ever holds destination-DC bits, so the popcount is the
+      // number of dest positions ForEachOwed would visit for this block.
+      count += std::popcount(info.blocks[static_cast<size_t>(b)].dc_owed);
+    }
+    return count;
+  }
+
+  template <typename Fn>
+  void ForEachOwedInRange(size_t jp, int64_t block_begin, int64_t block_end, Fn&& fn) const {
+    const JobInfo& info = jobs_.find(job_ids_[jp])->second;
+    const std::vector<DcId>& dests = info.job.dest_dcs;
+    const int64_t end =
+        std::min<int64_t>(block_end, static_cast<int64_t>(info.blocks.size()));
+    for (int64_t b = std::max<int64_t>(0, block_begin); b < end; ++b) {
+      const BlockInfo& bi = info.blocks[static_cast<size_t>(b)];
+      if (bi.dc_owed == 0) {
+        continue;
+      }
+      for (size_t dp = 0; dp < dests.size(); ++dp) {
+        if ((bi.dc_owed & (uint64_t{1} << dests[dp])) != 0) {
+          fn(jp, info.job, b, dp, dests[dp], static_cast<int>(bi.holders.size()));
         }
       }
     }

@@ -48,8 +48,10 @@ void ServerPathCache::MaterializePaths(ServerId src, ServerId dst,
   const Server& d = topo_->server(dst);
   const DcPairEntry& entry = entries_[PairIndex(s.dc, d.dc)];
   BDS_CHECK_MSG(entry.built, "ServerPathCache: EnsurePair not called for this DC pair");
-  // Called concurrently under ParallelRunner; the counter add goes to the
-  // calling thread's shard, so this is race-free.
+  // Called concurrently under ParallelRunner; the telemetry add goes to the
+  // calling thread's shard and the stats counter is a relaxed atomic, so
+  // both are race-free.
+  hits_.fetch_add(1, std::memory_order_relaxed);
   BDS_TELEMETRY_COUNT("path_cache.hits", 1);
   out->resize(entry.wan_links.size());
   for (size_t r = 0; r < entry.wan_links.size(); ++r) {

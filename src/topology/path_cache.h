@@ -22,6 +22,7 @@
 #ifndef BDS_SRC_TOPOLOGY_PATH_CACHE_H_
 #define BDS_SRC_TOPOLOGY_PATH_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -58,6 +59,22 @@ class ServerPathCache {
   // accumulating misses.
   int64_t misses() const { return misses_; }
 
+  // Cache effectiveness counters. hits counts MaterializePaths calls served
+  // from a built skeleton (relaxed atomic — the call is concurrent under the
+  // controller's thread pool, and shard/thread counts must not change the
+  // totals a single-threaded run would report); misses counts skeleton
+  // builds; invalidations counts Invalidate() calls (== generation()). The
+  // shard-parity tests assert sharded and unsharded runs observe identical
+  // miss/invalidation counts on route changes.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t invalidations = 0;
+  };
+  Stats stats() const {
+    return Stats{hits_.load(std::memory_order_relaxed), misses_, generation_};
+  }
+
  private:
   struct DcPairEntry {
     bool built = false;
@@ -79,6 +96,7 @@ class ServerPathCache {
   std::vector<DcPairEntry> entries_;  // Dense num_dcs x num_dcs grid.
   int64_t generation_ = 0;
   int64_t misses_ = 0;
+  mutable std::atomic<int64_t> hits_{0};  // Bumped in const MaterializePaths.
 };
 
 }  // namespace bds

@@ -61,6 +61,102 @@ TEST(ParallelRunnerTest, ClampsToAtLeastOneThread) {
   EXPECT_EQ(sum, 45);
 }
 
+TEST(ParallelRunnerTest, ClampsThreadsToWorkItemCount) {
+  // A run with fewer work items than pool threads must not spawn (or hand
+  // empty slices to) workers beyond the item count: every slice is non-empty
+  // and at most n - 1 worker threads ever exist after For(n).
+  ParallelRunner pool(8);
+  EXPECT_EQ(pool.spawned_workers(), 0);  // Lazy: nothing spawned yet.
+  std::atomic<int> slices{0};
+  pool.For(2, [&](size_t begin, size_t end) {
+    EXPECT_LT(begin, end);  // No empty slices dispatched.
+    ++slices;
+  });
+  EXPECT_LE(slices.load(), 2);
+  EXPECT_LE(pool.spawned_workers(), 1);
+
+  pool.For(3, [&](size_t begin, size_t end) { EXPECT_LT(begin, end); });
+  EXPECT_LE(pool.spawned_workers(), 2);
+
+  // A larger run afterwards still uses (and may now grow to) the full pool.
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) {
+    h = 0;
+  }
+  pool.For(hits.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ++hits[i];
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << i;
+  }
+  EXPECT_LE(pool.spawned_workers(), pool.num_threads() - 1);
+}
+
+TEST(ParallelRunnerTest, SingleItemRunsInline) {
+  ParallelRunner pool(8);
+  int calls = 0;
+  pool.For(1, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(pool.spawned_workers(), 0);  // n == 1 never needs a worker.
+}
+
+TEST(ParallelRunnerTest, ForWeightedCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    ParallelRunner pool(threads);
+    // Mix of zero, small, and dominant weights, plus an all-zero vector.
+    std::vector<std::vector<int64_t>> cases = {
+        {},
+        {5},
+        {0, 0, 0, 0},
+        {1, 1, 1, 1, 1, 1, 1},
+        {1000, 1, 1, 1, 1, 1, 1, 1000},
+        {0, 7, 0, 0, 123, 1, 0, 9, 9, 9, 50, 0},
+    };
+    for (const auto& weights : cases) {
+      std::vector<std::atomic<int>> hits(weights.size());
+      for (auto& h : hits) {
+        h = 0;
+      }
+      pool.ForWeighted(weights, [&](size_t begin, size_t end) {
+        EXPECT_LE(begin, end);
+        for (size_t i = begin; i < end; ++i) {
+          ++hits[i];
+        }
+      });
+      for (size_t i = 0; i < weights.size(); ++i) {
+        ASSERT_EQ(hits[i], 1) << "threads=" << threads << " n=" << weights.size()
+                              << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, ForWeightedMatchesSerialExactly) {
+  std::vector<int64_t> weights(97);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<int64_t>((i * 37) % 11);
+  }
+  auto compute = [&](int threads) {
+    ParallelRunner pool(threads);
+    std::vector<double> out(weights.size(), 0.0);
+    pool.ForWeighted(weights, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<double>(i) * 0.5 - 3.0;
+      }
+    });
+    return out;
+  };
+  std::vector<double> serial = compute(1);
+  EXPECT_EQ(compute(4), serial);
+  EXPECT_EQ(compute(8), serial);
+}
+
 TEST(ParallelRunnerTest, ReusableAcrossCalls) {
   ParallelRunner pool(4);
   for (int round = 0; round < 50; ++round) {
