@@ -3,10 +3,19 @@
 //
 //   ./quickstart [--dcs N] [--servers N] [--size-gb X] [--cycle S] [--verbose]
 //               [--threads N] [--shards K]
+//               [--duration S] [--arrival-rate JOBS_PER_HOUR]
 //               [--trace-json PATH] [--summary-jsonl PATH]
 //
 // --threads and --shards exercise the fleet-scale controller (DESIGN.md
 // "Sharded controller"); either may be raised without changing any decision.
+//
+// With --duration the one-shot job is replaced by the long-running service
+// mode (DESIGN.md "Overload and graceful degradation"): open-loop arrivals
+// at --arrival-rate jobs/hour for that many simulated seconds, with
+// admission control, the cycle-deadline watchdog, and bounded-memory
+// retirement, e.g.
+//
+//   ./quickstart --duration=7200 --arrival-rate=600
 //
 // With --trace-json the run is recorded and exported as Chrome trace_event
 // JSON — open it in chrome://tracing or https://ui.perfetto.dev, or validate
@@ -29,6 +38,8 @@ int main(int argc, char** argv) {
   double cycle = 3.0;
   int threads = 1;
   int shards = 1;
+  double duration = 0.0;
+  double arrival_rate = 600.0;
   bool verbose = false;
   std::string trace_json;
   std::string summary_jsonl;
@@ -40,6 +51,9 @@ int main(int argc, char** argv) {
   flags.AddDouble("cycle", &cycle, "controller update cycle in seconds");
   flags.AddInt("threads", &threads, "controller worker threads");
   flags.AddInt("shards", &shards, "controller shards (selection + FPTAS groups)");
+  flags.AddDouble("duration", &duration,
+                  "steady-state mode: simulated seconds of open-loop arrivals (0 = one-shot)");
+  flags.AddDouble("arrival-rate", &arrival_rate, "steady-state mode: jobs per hour");
   flags.AddBool("verbose", &verbose, "enable info logging");
   flags.AddString("trace-json", &trace_json, "write a Chrome trace_event JSON file here");
   flags.AddString("summary-jsonl", &summary_jsonl, "write a JSONL metrics summary here");
@@ -81,6 +95,57 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Writes the requested trace/summary artifacts; shared by both run modes.
+  auto finish_tracing = [&](const bds::telemetry::MetricsSnapshot& metrics) {
+    if (!tracing) {
+      return true;
+    }
+    auto& recorder = bds::telemetry::TraceRecorder::Global();
+    recorder.Stop();
+    if (!trace_json.empty()) {
+      auto status = recorder.WriteChromeTrace(trace_json);
+      if (!status.ok()) {
+        std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+        return false;
+      }
+      std::printf("Wrote %zu trace events (%zu dropped) to %s\n", recorder.size(),
+                  recorder.dropped(), trace_json.c_str());
+    }
+    if (!summary_jsonl.empty()) {
+      auto status = recorder.WriteRunSummary(summary_jsonl, metrics);
+      if (!status.ok()) {
+        std::fprintf(stderr, "summary: %s\n", status.ToString().c_str());
+        return false;
+      }
+      std::printf("Wrote metrics summary to %s\n", summary_jsonl.c_str());
+    }
+    if (verbose) {
+      std::printf("%s", metrics.ToString().c_str());
+    }
+    return true;
+  };
+
+  // 3a. Steady-state service mode: open-loop arrivals instead of one job.
+  if (duration > 0.0) {
+    bds::SteadyStateOptions steady;
+    steady.duration = duration;
+    steady.arrivals.jobs_per_hour = arrival_rate;
+    steady.arrivals.size_scale = 1e-6;  // TB-scale trace shapes -> laptop scale.
+    steady.admission.enabled = true;
+    steady.overload.enabled = true;
+    auto steady_report = (*service)->RunSteadyState(steady);
+    if (!steady_report.ok()) {
+      std::fprintf(stderr, "steady-state run: %s\n",
+                   steady_report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", steady_report->ToString().c_str());
+    if (!finish_tracing(steady_report->run.telemetry)) {
+      return 1;
+    }
+    return steady_report->run.stop_reason == bds::StopReason::kAborted ? 2 : 0;
+  }
+
   // 3. Submit a multicast job: DC0 -> {DC1, DC2, DC3}.
   std::vector<bds::DcId> dests;
   for (bds::DcId d = 1; d < std::min(dcs, 4); ++d) {
@@ -114,29 +179,8 @@ int main(int argc, char** argv) {
                 report->feedback_delays.Quantile(0.9) * 1e3);
   }
 
-  if (tracing) {
-    auto& recorder = bds::telemetry::TraceRecorder::Global();
-    recorder.Stop();
-    if (!trace_json.empty()) {
-      auto status = recorder.WriteChromeTrace(trace_json);
-      if (!status.ok()) {
-        std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
-        return 1;
-      }
-      std::printf("Wrote %zu trace events (%zu dropped) to %s\n", recorder.size(),
-                  recorder.dropped(), trace_json.c_str());
-    }
-    if (!summary_jsonl.empty()) {
-      auto status = recorder.WriteRunSummary(summary_jsonl, report->telemetry);
-      if (!status.ok()) {
-        std::fprintf(stderr, "summary: %s\n", status.ToString().c_str());
-        return 1;
-      }
-      std::printf("Wrote metrics summary to %s\n", summary_jsonl.c_str());
-    }
-    if (verbose) {
-      std::printf("%s", report->telemetry.ToString().c_str());
-    }
+  if (!finish_tracing(report->telemetry)) {
+    return 1;
   }
   return report->completed ? 0 : 2;
 }

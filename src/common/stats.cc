@@ -202,6 +202,24 @@ double Histogram::BinLow(int bin) const {
 
 double Histogram::BinHigh(int bin) const { return BinLow(bin + 1); }
 
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  int64_t cumulative = 0;
+  for (int b = 0; b < bins(); ++b) {
+    const int64_t c = counts_[static_cast<size_t>(b)];
+    if (static_cast<double>(cumulative + c) >= target && c > 0) {
+      const double within = (target - static_cast<double>(cumulative)) / static_cast<double>(c);
+      return BinLow(b) + (BinHigh(b) - BinLow(b)) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative += c;
+  }
+  return hi_;
+}
+
 std::string Histogram::ToString(int width) const {
   std::ostringstream os;
   int64_t peak = 1;

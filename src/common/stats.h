@@ -92,6 +92,12 @@ class Histogram {
   int64_t BinCount(int bin) const;
   double BinLow(int bin) const;
   double BinHigh(int bin) const;
+
+  // Approximate q-quantile (q in [0, 1]) assuming mass is uniform within a
+  // bin: finds the bin holding the q-th count and interpolates inside it.
+  // Values clamped into the edge bins resolve to the bin boundary. Returns
+  // 0 for an empty histogram.
+  double Quantile(double q) const;
   int bins() const { return static_cast<int>(counts_.size()); }
   int64_t total() const { return total_; }
   double lo() const { return lo_; }

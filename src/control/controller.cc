@@ -17,41 +17,78 @@ std::vector<double> RunReport::ServerCompletionMinutes() const {
 }
 
 namespace {
-// splitmix64-style stream hasher for RunReport::Fingerprint.
+// splitmix64-style stream mixing, shared by RunReport::Fingerprint and the
+// incremental digests the controller maintains (cycles, completions).
+uint64_t MixU64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t MixDoubleU64(uint64_t h, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return MixU64(h, bits);
+}
+
 struct Digest {
   uint64_t h = 0x9E3779B97F4A7C15ULL;
-  void Mix(uint64_t v) {
-    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-    h *= 0xBF58476D1CE4E5B9ULL;
-    h ^= h >> 31;
-  }
-  void MixDouble(double v) {
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    Mix(bits);
-  }
+  void Mix(uint64_t v) { h = MixU64(h, v); }
+  void MixDouble(double v) { h = MixDoubleU64(h, v); }
 };
+
+// Simulation-determined cycle fields folded into RunReport::cycles_digest.
+// Wall-clock-derived values (scheduling/routing seconds, the feedback delay,
+// which folds the algorithm's measured runtime in, and modeled_cost_seconds
+// when use_measured_cost is on) are excluded: they vary run to run without
+// the simulation differing.
+uint64_t MixCycle(uint64_t h, const CycleStats& c) {
+  h = MixU64(h, static_cast<uint64_t>(c.cycle));
+  h = MixDoubleU64(h, c.start_time);
+  h = MixU64(h, c.controller_up ? 1 : 0);
+  h = MixU64(h, static_cast<uint64_t>(c.scheduled_blocks));
+  h = MixU64(h, static_cast<uint64_t>(c.merged_subtasks));
+  h = MixU64(h, static_cast<uint64_t>(c.transfers_started));
+  h = MixU64(h, static_cast<uint64_t>(c.blocks_delivered));
+  h = MixU64(h, static_cast<uint64_t>(c.rung));
+  return h;
+}
 }  // namespace
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kDrained:
+      return "drained";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kWedged:
+      return "wedged";
+    case StopReason::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
 
 uint64_t RunReport::Fingerprint() const {
   Digest d;
   d.Mix(completed ? 1 : 0);
+  d.Mix(static_cast<uint64_t>(stop_reason));
   d.MixDouble(completion_time);
   d.Mix(static_cast<uint64_t>(deliveries));
-  d.Mix(static_cast<uint64_t>(cycles.size()));
-  for (const CycleStats& c : cycles) {
-    // Wall-clock-derived values (scheduling/routing seconds, and the
-    // feedback delay, which folds the algorithm's measured runtime in) are
-    // excluded: they vary run to run without the simulation differing.
-    d.Mix(static_cast<uint64_t>(c.cycle));
-    d.MixDouble(c.start_time);
-    d.Mix(c.controller_up ? 1 : 0);
-    d.Mix(static_cast<uint64_t>(c.scheduled_blocks));
-    d.Mix(static_cast<uint64_t>(c.merged_subtasks));
-    d.Mix(static_cast<uint64_t>(c.transfers_started));
-    d.Mix(static_cast<uint64_t>(c.blocks_delivered));
-  }
+  // The per-cycle history may be truncated in bounded-memory mode, so the
+  // fingerprint covers cycles through the incrementally-maintained digest
+  // (same fields MixCycle lists) rather than the retained vector.
+  d.Mix(static_cast<uint64_t>(total_cycles));
+  d.Mix(cycles_digest);
+  d.Mix(static_cast<uint64_t>(jobs_completed_total));
+  d.Mix(completion_digest);
+  d.Mix(static_cast<uint64_t>(retired_jobs));
+  d.Mix(static_cast<uint64_t>(retired_blocks));
+  d.Mix(static_cast<uint64_t>(peak_live_pending));
+  d.Mix(static_cast<uint64_t>(peak_live_jobs));
+  d.Mix(static_cast<uint64_t>(peak_live_flows));
   auto mix_sorted = [&d](const auto& map) {
     std::vector<std::pair<int64_t, double>> entries;
     entries.reserve(map.size());
@@ -195,37 +232,175 @@ Status BdsController::ScheduleControllerOutage(SimTime from, SimTime to) {
   return Status::Ok();
 }
 
+Status BdsController::ScheduleReplicaFailure(int replica, SimTime at) {
+  if (replica < 0 || replica >= replicas_.num_replicas()) {
+    return InvalidArgumentError("failure script: no such controller replica");
+  }
+  if (at < 0.0) {
+    return InvalidArgumentError("failure script: event time is negative");
+  }
+  replica_events_.push_back(ReplicaEvent{replica, at, /*recovery=*/false});
+  std::sort(replica_events_.begin() + static_cast<long>(next_replica_event_),
+            replica_events_.end(),
+            [](const ReplicaEvent& a, const ReplicaEvent& b) { return a.at < b.at; });
+  return Status::Ok();
+}
+
+Status BdsController::ScheduleReplicaRecovery(int replica, SimTime at) {
+  if (replica < 0 || replica >= replicas_.num_replicas()) {
+    return InvalidArgumentError("failure script: no such controller replica");
+  }
+  if (at < 0.0) {
+    return InvalidArgumentError("failure script: event time is negative");
+  }
+  replica_events_.push_back(ReplicaEvent{replica, at, /*recovery=*/true});
+  std::sort(replica_events_.begin() + static_cast<long>(next_replica_event_),
+            replica_events_.end(),
+            [](const ReplicaEvent& a, const ReplicaEvent& b) { return a.at < b.at; });
+  return Status::Ok();
+}
+
+void BdsController::ApplyReplicaEvents(SimTime now) {
+  while (next_replica_event_ < replica_events_.size() &&
+         replica_events_[next_replica_event_].at <= now + kFluidEpsilon) {
+    const ReplicaEvent& e = replica_events_[next_replica_event_];
+    ++next_replica_event_;
+    // Fail/recover are idempotent in the replica set, so a chaos plan that
+    // fails an already-down replica is harmless.
+    Status s = e.recovery ? replicas_.RecoverReplica(e.replica, e.at)
+                          : replicas_.FailReplica(e.replica, e.at);
+    BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
+    if (e.recovery) {
+      BDS_TELEMETRY_COUNT("controller.replica_recoveries", 1);
+    } else {
+      BDS_TELEMETRY_COUNT("controller.replica_failures", 1);
+    }
+  }
+}
+
+void BdsController::ConfigureOverload(const OverloadOptions& options) {
+  OverloadOptions o = options;
+  // Pricing knobs must match what actually runs, so they come from the
+  // algorithm options regardless of what the caller filled in.
+  o.cycle_length = options_.algorithm.cycle_length;
+  o.max_wan_routes = options_.algorithm.max_wan_routes;
+  o.fptas_epsilon = options_.algorithm.fptas_epsilon;
+  o.degraded_epsilon_factor = options_.algorithm.degraded_epsilon_factor;
+  watchdog_ = CycleWatchdog(o);
+}
+
+void BdsController::ConfigureAdmission(const AdmissionOptions& options) {
+  admission_ = AdmissionController(options);
+}
+
+void BdsController::ConfigureRetirement(bool retire_completed, int64_t completed_flow_history,
+                                        int64_t max_cycle_stats) {
+  retire_completed_ = retire_completed;
+  max_cycle_stats_ = max_cycle_stats;
+  sim_.set_completed_history_limit(completed_flow_history);
+}
+
+void BdsController::SetArrivalProcess(ArrivalProcess* arrivals, SimTime stop_time) {
+  open_arrivals_ = arrivals;
+  arrivals_stop_ = stop_time;
+}
+
 void BdsController::SetBackgroundTraffic(BackgroundTrafficModel* model) {
   network_monitor_.SetTrafficModel(model);
+}
+
+void BdsController::AdmitJobNow(const MulticastJob& job) {
+  Status s = state_.AddJob(job);
+  BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
+  if (view_ != nullptr) {
+    // Job submission goes through the controller, so the view learns of
+    // new jobs immediately — only delivery reports can go stale.
+    Status vs = view_->AddJob(job);
+    BDS_CHECK_MSG(vs.ok(), vs.ToString().c_str());
+  }
+  // Track participating DCs for feedback-delay sampling.
+  auto note_dc = [this](DcId d) {
+    if (std::find(active_agent_dcs_.begin(), active_agent_dcs_.end(), d) ==
+        active_agent_dcs_.end()) {
+      active_agent_dcs_.push_back(d);
+    }
+  };
+  note_dc(job.source_dc);
+  for (DcId d : job.dest_dcs) {
+    note_dc(d);
+  }
+}
+
+int64_t BdsController::JobDeliveries(const MulticastJob& job) const {
+  return job.num_blocks() * static_cast<int64_t>(job.dest_dcs.size());
+}
+
+bool BdsController::RegisterOpenArrivals(SimTime now) {
+  bool added = false;
+  // Re-offer deferred jobs first, FIFO: stop at the first still-deferred so
+  // admission order is preserved.
+  while (!deferred_jobs_.empty()) {
+    const int64_t jd = JobDeliveries(deferred_jobs_.front());
+    // The front job's own demand is part of deferred_deliveries_; the
+    // backlog it would join excludes it.
+    const int64_t backlog = state_.num_pending() + deferred_deliveries_ - jd;
+    if (admission_.ReofferDeferred(jd, backlog) != AdmissionDecision::kAccept) {
+      break;
+    }
+    admission_.CountAccepted();
+    deferred_deliveries_ -= jd;
+    MulticastJob job = std::move(deferred_jobs_.front());
+    deferred_jobs_.pop_front();
+    AdmitJobNow(job);
+    added = true;
+  }
+  if (open_arrivals_ == nullptr) {
+    return added;
+  }
+  while (open_arrivals_->NextArrivalTime() <= now + kFluidEpsilon &&
+         open_arrivals_->NextArrivalTime() < arrivals_stop_) {
+    MulticastJob job = open_arrivals_->Take();
+    const int64_t jd = JobDeliveries(job);
+    switch (admission_.Admit(jd, state_.num_pending() + deferred_deliveries_)) {
+      case AdmissionDecision::kAccept:
+        AdmitJobNow(job);
+        added = true;
+        break;
+      case AdmissionDecision::kDefer:
+        if (static_cast<int64_t>(deferred_jobs_.size()) <
+            admission_.options().max_deferred_jobs) {
+          admission_.CountDeferred();
+          deferred_deliveries_ += jd;
+          deferred_jobs_.push_back(std::move(job));
+        } else {
+          admission_.CountRejected();
+          BDS_TELEMETRY_COUNT("controller.jobs_rejected", 1);
+        }
+        break;
+      case AdmissionDecision::kReject:
+        BDS_TELEMETRY_COUNT("controller.jobs_rejected", 1);
+        break;
+    }
+  }
+  return added;
 }
 
 void BdsController::RegisterArrivals(SimTime now) {
   bool added = false;
   while (next_arrival_ < arriving_jobs_.size() &&
          arriving_jobs_[next_arrival_].arrival_time <= now + kFluidEpsilon) {
-    const MulticastJob& job = arriving_jobs_[next_arrival_];
-    Status s = state_.AddJob(job);
-    BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
-    if (view_ != nullptr) {
-      // Job submission goes through the controller, so the view learns of
-      // new jobs immediately — only delivery reports can go stale.
-      Status vs = view_->AddJob(job);
-      BDS_CHECK_MSG(vs.ok(), vs.ToString().c_str());
-    }
-    // Track participating DCs for feedback-delay sampling.
-    auto note_dc = [this](DcId d) {
-      if (std::find(active_agent_dcs_.begin(), active_agent_dcs_.end(), d) ==
-          active_agent_dcs_.end()) {
-        active_agent_dcs_.push_back(d);
-      }
-    };
-    note_dc(job.source_dc);
-    for (DcId d : job.dest_dcs) {
-      note_dc(d);
-    }
+    AdmitJobNow(arriving_jobs_[next_arrival_]);
     ++next_arrival_;
     added = true;
   }
+  // In bounded-memory mode the consumed script prefix is dead weight; shed
+  // it once it is large enough to matter.
+  if (retire_completed_ && next_arrival_ > 1024) {
+    arriving_jobs_.erase(arriving_jobs_.begin(),
+                         arriving_jobs_.begin() + static_cast<long>(next_arrival_));
+    next_arrival_ = 0;
+  }
+  added |= RegisterOpenArrivals(now);
   if (added && fallback_.active()) {
     fallback_.Activate();  // Refresh queues with the new job's deliveries.
   }
@@ -398,8 +573,22 @@ void BdsController::CancelAndCredit(int64_t tag) {
 }
 
 SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
+  stats.rung = static_cast<int>(watchdog_.rung());
+
   // Flush agent status reports (some may be lost, leaving the view stale).
   CollectAgentReports();
+
+  // Last rung of the degradation ladder: skip scheduling and routing
+  // entirely and let the previous cycle's decisions keep running (they are
+  // rate-pinned, so extending them costs nothing). Only the base cost is
+  // charged, which is what lets the ladder recover.
+  if (watchdog_.enabled() && watchdog_.rung() == DegradationRung::kExtendDecisions) {
+    const double cost = watchdog_.ModelCost(0, 0, 0);
+    stats.modeled_cost_seconds = cost;
+    algorithm_.SetDegradationRung(watchdog_.Observe(stats.cycle, cost));
+    BDS_TELEMETRY_COUNT("controller.cycles_extended", 1);
+    return 0.0;
+  }
 
   // Decision refresh: re-plan transfers that will not finish in a
   // reasonable number of cycles at their current rate.
@@ -459,6 +648,7 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
   // pending deliveries than ground truth (reports lag, submissions do not),
   // so the worst case is a redundant transfer that NoteDelivery ignores.
   const ReplicaState& sched_state = view_ != nullptr ? *view_ : state_;
+  const int64_t pending_before = sched_state.num_pending();
   CycleDecision decision = algorithm_.Decide(stats.cycle, sched_state, residual, in_flight_);
   BDS_TELEMETRY_COUNT("controller.blocks_scheduled", decision.scheduled_blocks);
   BDS_TELEMETRY_COUNT("controller.merged_subtasks", decision.merged_subtasks);
@@ -471,11 +661,29 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     stats.feedback_delay =
         agent_monitor_.SampleFeedbackLoop(active_agent_dcs_, decision.total_seconds());
   }
-  // The decisions only reach the agents after the feedback loop completes;
+  // Cycle-deadline watchdog: price the cycle (deterministic model by
+  // default; measured CPU forfeits cross-run determinism) and convert any
+  // overrun into decision staleness — the decisions reach agents late.
+  double cycle_cost = 0.0;
+  if (watchdog_.enabled()) {
+    cycle_cost = watchdog_.options().use_measured_cost
+                     ? decision.total_seconds()
+                     : watchdog_.ModelCost(pending_before, decision.scheduled_blocks,
+                                           decision.merged_subtasks);
+    stats.modeled_cost_seconds = cycle_cost;
+  }
+
+  // The decisions only reach the agents after the feedback loop completes
+  // (and, under overload, after the overrunning computation finishes);
   // in-flight transfers keep running meanwhile (non-blocking update).
   SimTime lead = 0.0;
   if (options_.model_decision_latency && stats.feedback_delay > 0.0) {
     lead = std::min(stats.feedback_delay, options_.algorithm.cycle_length * 0.9);
+  }
+  if (watchdog_.enabled()) {
+    lead = std::max(lead, watchdog_.StalenessFor(cycle_cost));
+  }
+  if (lead > 0.0) {
     Status s = sim_.AdvanceBy(lead);
     BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
   }
@@ -513,6 +721,10 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     ++stats.transfers_started;
   }
   BDS_TELEMETRY_COUNT("controller.transfers_started", stats.transfers_started);
+  if (watchdog_.enabled()) {
+    // Fold the cycle into the ladder and set the rung the NEXT cycle runs at.
+    algorithm_.SetDegradationRung(watchdog_.Observe(stats.cycle, cycle_cost));
+  }
   return lead;
 }
 
@@ -522,7 +734,43 @@ void BdsController::RecordDelivery(JobId job, ServerId dest_server, SimTime now)
   server_last_delivery_[dest_server] = now;
   if (job_completion_.count(job) == 0 && state_.JobComplete(job)) {
     job_completion_[job] = now;
+    ++jobs_completed_total_;
+    const MulticastJob* mj = state_.FindJob(job);
+    const double duration = now - (mj != nullptr ? mj->arrival_time : 0.0);
+    completion_durations_.Add(duration);
+    completion_digest_ = MixU64(completion_digest_, static_cast<uint64_t>(job));
+    completion_digest_ = MixDoubleU64(completion_digest_, duration);
+    BDS_TELEMETRY_HISTOGRAM("controller.job_completion_minutes", 0.0, 240.0, 96,
+                            ToMinutes(duration));
+    if (retire_completed_) {
+      retirable_.push_back(job);
+    }
   }
+}
+
+void BdsController::RetireCompleted() {
+  if (retirable_.empty()) {
+    return;
+  }
+  size_t keep = 0;
+  for (JobId job : retirable_) {
+    // A server failure can re-owe a recorded-complete job; retry once it
+    // completes again. The stale view can also lag the job's completion —
+    // retiring it from ground truth but not the view would leave the view
+    // scheduling phantom deliveries forever, so wait for both to agree.
+    if (!state_.JobComplete(job) || (view_ != nullptr && !view_->JobComplete(job))) {
+      retirable_[keep++] = job;
+      continue;
+    }
+    Status s = state_.RetireJob(job);
+    BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
+    if (view_ != nullptr) {
+      Status vs = view_->RetireJob(job);
+      BDS_CHECK_MSG(vs.ok(), vs.ToString().c_str());
+    }
+    job_completion_.erase(job);
+  }
+  retirable_.resize(keep);
 }
 
 void BdsController::OnFlowComplete(const FlowRecord& record) {
@@ -576,15 +824,19 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
     view_ = std::make_unique<ReplicaState>(topo_);
   }
 
+  StopReason stop = StopReason::kAborted;  // Overwritten by every break below.
   while (cycle < max_cycles) {
     SimTime now = sim_.now();
     if (now >= deadline - kFluidEpsilon) {
+      stop = StopReason::kDeadline;
       break;
     }
     BDS_TIMED_SCOPE("controller.cycle");
     RegisterArrivals(now);
     ApplyFailures(now);
+    ApplyReplicaEvents(now);
     ApplyLinkFaults(now);
+    const bool had_backlog = state_.num_pending() > 0;
 
     CycleStats stats;
     stats.cycle = cycle;
@@ -610,35 +862,62 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
 
     BDS_RETURN_IF_ERROR(sim_.AdvanceBy(std::max(0.0, std::min(dt, deadline - now) - lead)));
     stats.blocks_delivered = deliveries_this_cycle_;
+    admission_.ObserveCycle(deliveries_this_cycle_, had_backlog);
     if (options_.validate_invariants) {
       double overshoot = sim_.MaxCapacityViolation();
       report.max_link_overshoot =
           std::max(report.max_link_overshoot.value_or(overshoot), overshoot);
     }
+    if (retire_completed_) {
+      RetireCompleted();
+    }
+    peak_live_pending_ = std::max(peak_live_pending_, state_.num_pending());
+    peak_live_jobs_ = std::max(peak_live_jobs_, state_.num_live_jobs());
+    peak_live_flows_ =
+        std::max(peak_live_flows_, static_cast<int64_t>(sim_.num_active_flows()));
     BDS_TELEMETRY_COUNT("controller.cycles", 1);
     BDS_TELEMETRY_COUNT("controller.blocks_delivered", stats.blocks_delivered);
+    BDS_TELEMETRY_GAUGE("controller.live_pending", static_cast<double>(state_.num_pending()));
+    BDS_TELEMETRY_GAUGE("controller.degradation_rung", static_cast<double>(stats.rung));
     telemetry::TraceInstant(
         "controller.cycle.stats", "controller",
         {{"cycle", static_cast<double>(stats.cycle)},
          {"scheduled_blocks", static_cast<double>(stats.scheduled_blocks)},
          {"transfers_started", static_cast<double>(stats.transfers_started)},
          {"blocks_delivered", static_cast<double>(stats.blocks_delivered)}});
+    cycles_digest_ = MixCycle(cycles_digest_, stats);
+    ++total_cycles_;
     report.cycles.push_back(stats);
+    if (max_cycle_stats_ > 0 &&
+        static_cast<int64_t>(report.cycles.size()) > max_cycle_stats_ + max_cycle_stats_ / 2) {
+      report.cycles.erase(report.cycles.begin(),
+                          report.cycles.end() - static_cast<long>(max_cycle_stats_));
+    }
     ++cycle;
 
-    bool all_arrived = next_arrival_ >= arriving_jobs_.size();
+    const bool all_arrived =
+        next_arrival_ >= arriving_jobs_.size() &&
+        (open_arrivals_ == nullptr || open_arrivals_->NextArrivalTime() >= arrivals_stop_) &&
+        deferred_jobs_.empty();
     if (all_arrived && state_.AllComplete()) {
+      stop = StopReason::kDrained;
       break;
     }
     // Catch wedged runs: nothing pending can ever complete (e.g. every
     // holder failed). Stop rather than spin to the deadline. A pending link
     // recovery or probabilistic control-plane fault can still unwedge a
     // quiet cycle, so the detector defers to the deadline while either is
-    // in play.
+    // in play. A degraded cycle is never proof of wedge either: rungs above
+    // kNormal deliberately restrict routing (one cached path, shed
+    // candidates, or no decision at all), so a quiet cycle there may just
+    // mean the restricted plan found nothing — wait for the ladder to
+    // recover to kNormal before declaring the run dead.
     if (all_arrived && !state_.AllComplete() && sim_.num_active_flows() == 0 &&
         stats.controller_up && stats.transfers_started == 0 && stats.blocks_delivered == 0 &&
-        next_failure_ >= failures_.size() && fault_.remaining_link_events() == 0 &&
-        !fault_.control_plane_active()) {
+        watchdog_.rung() == DegradationRung::kNormal &&
+        next_failure_ >= failures_.size() &&
+        next_replica_event_ >= replica_events_.size() &&
+        fault_.remaining_link_events() == 0 && !fault_.control_plane_active()) {
       bool outage_ahead = false;
       for (const Outage& o : outages_) {
         if (o.from > now) {
@@ -646,12 +925,33 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
         }
       }
       if (!outage_ahead) {
+        stop = StopReason::kWedged;
         break;
       }
     }
   }
 
-  report.completed = state_.AllComplete() && next_arrival_ >= arriving_jobs_.size();
+  const bool sources_drained =
+      next_arrival_ >= arriving_jobs_.size() &&
+      (open_arrivals_ == nullptr || open_arrivals_->NextArrivalTime() >= arrivals_stop_) &&
+      deferred_jobs_.empty();
+  report.completed = state_.AllComplete() && sources_drained;
+  report.stop_reason = stop;
+  report.total_cycles = total_cycles_;
+  report.cycles_digest = cycles_digest_;
+  report.jobs_completed_total = jobs_completed_total_;
+  report.completion_digest = completion_digest_;
+  report.retired_jobs = state_.retired_jobs();
+  report.retired_blocks = state_.retired_blocks();
+  report.peak_live_pending = peak_live_pending_;
+  report.peak_live_jobs = peak_live_jobs_;
+  report.peak_live_flows = peak_live_flows_;
+  report.job_durations = completion_durations_;
+  if (!completion_durations_.empty()) {
+    report.completion_p50 = completion_durations_.Quantile(0.5);
+    report.completion_p95 = completion_durations_.Quantile(0.95);
+    report.completion_p99 = completion_durations_.Quantile(0.99);
+  }
   report.deliveries = deliveries_;
   report.faults = fault_.stats();
   report.job_completion = job_completion_;

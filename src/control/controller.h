@@ -23,6 +23,7 @@
 #ifndef BDS_SRC_CONTROL_CONTROLLER_H_
 #define BDS_SRC_CONTROL_CONTROLLER_H_
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -32,8 +33,10 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/control/monitors.h"
+#include "src/control/overload.h"
 #include "src/control/replication.h"
 #include "src/fault/fault_injector.h"
+#include "src/scheduler/admission.h"
 #include "src/scheduler/bandwidth_separator.h"
 #include "src/scheduler/controller_algorithm.h"
 #include "src/scheduler/replica_state.h"
@@ -41,6 +44,7 @@
 #include "src/telemetry/metrics.h"
 #include "src/topology/routing.h"
 #include "src/topology/topology.h"
+#include "src/workload/arrival_process.h"
 #include "src/workload/background_traffic.h"
 #include "src/workload/job.h"
 
@@ -85,13 +89,37 @@ struct CycleStats {
   double scheduling_seconds = 0.0;
   double routing_seconds = 0.0;
   double feedback_delay = 0.0;
+  // Degradation rung this cycle ran at (DegradationRung as int) and the cost
+  // the watchdog charged it. The rung is simulation-determined; the cost is
+  // too unless use_measured_cost is on.
+  int rung = 0;
+  double modeled_cost_seconds = 0.0;
 };
+
+// Why Run() returned — a bare `completed` bool conflated "drained every job"
+// with "gave up": a wedged run and a deadline-bounded steady-state run both
+// reported completed=false.
+enum class StopReason {
+  kDrained,   // Every arrived job completed and no more arrivals are due.
+  kDeadline,  // Simulated deadline passed with work still outstanding.
+  kWedged,    // Nothing pending can ever complete (e.g. every holder failed).
+  kAborted,   // Hard cycle cap hit — a wedge the detector could not prove.
+};
+
+const char* StopReasonName(StopReason reason);
 
 struct RunReport {
   bool completed = false;
+  StopReason stop_reason = StopReason::kDeadline;
   SimTime completion_time = 0.0;
   int64_t deliveries = 0;
+  // Per-cycle stats. In bounded-memory service mode only the most recent
+  // cycles are kept (ConfigureRetirement); total_cycles and cycles_digest
+  // always cover the whole run, so the fingerprint does not depend on how
+  // much history was retained.
   std::vector<CycleStats> cycles;
+  int64_t total_cycles = 0;
+  uint64_t cycles_digest = 0;
   std::unordered_map<JobId, SimTime> job_completion;
   // Per destination server: when it finished receiving its shard.
   std::vector<std::pair<ServerId, SimTime>> server_completion;
@@ -111,6 +139,26 @@ struct RunReport {
   // telemetry::Enabled() was set. Excluded from Fingerprint(): metrics carry
   // wall-clock-derived values and must never affect determinism checks.
   telemetry::MetricsSnapshot telemetry;
+
+  // Steady-state service accounting. jobs_completed_total and
+  // completion_digest survive retirement (job_completion only holds
+  // unretired jobs in bounded-memory mode). job_durations holds every
+  // completed job's arrival-to-completion time; the percentile fields are
+  // precomputed from it (excluded from Fingerprint, like control_delays —
+  // the digest already covers every sample).
+  int64_t jobs_completed_total = 0;
+  uint64_t completion_digest = 0;
+  int64_t retired_jobs = 0;
+  int64_t retired_blocks = 0;
+  EmpiricalDistribution job_durations;
+  double completion_p50 = 0.0;
+  double completion_p95 = 0.0;
+  double completion_p99 = 0.0;
+  // High-water marks sampled at cycle boundaries — the bounded-memory soak
+  // asserts these plateau while retired counts keep growing.
+  int64_t peak_live_pending = 0;
+  int64_t peak_live_jobs = 0;
+  int64_t peak_live_flows = 0;
 
   std::vector<double> ServerCompletionMinutes() const;
 
@@ -135,6 +183,32 @@ class BdsController {
   Status ScheduleServerFailure(ServerId server, SimTime at);
   Status ScheduleServerRecovery(ServerId server, SimTime at);
   Status ScheduleControllerOutage(SimTime from, SimTime to);
+  // Individual controller-replica fail/recover events (the replica set
+  // handles master election and failover delay; a headless window behaves
+  // like a controller outage). Events apply in scheduled order.
+  Status ScheduleReplicaFailure(int replica, SimTime at);
+  Status ScheduleReplicaRecovery(int replica, SimTime at);
+
+  // --- Long-running service mode. Configure before Run(). ---
+  // Cycle-deadline watchdog + degradation ladder. Knobs the cost model needs
+  // (cycle length, route count, epsilon) are taken from the algorithm
+  // options, not from `options`, so pricing always matches what runs.
+  void ConfigureOverload(const OverloadOptions& options);
+  // Admission control over open-loop arrivals (script-submitted jobs are
+  // always accepted — they model operator-initiated work).
+  void ConfigureAdmission(const AdmissionOptions& options);
+  // Bounded memory: retire completed jobs from the replica state, cap the
+  // simulator's completed-flow history (`completed_flow_history`, -1 keeps
+  // all) and the per-cycle stats kept in the report (`max_cycle_stats`,
+  // 0 keeps all).
+  void ConfigureRetirement(bool retire_completed, int64_t completed_flow_history,
+                           int64_t max_cycle_stats);
+  // Pulls jobs from `arrivals` (not owned; must outlive Run) as simulated
+  // time passes, until NextArrivalTime() reaches `stop_time`.
+  void SetArrivalProcess(ArrivalProcess* arrivals, SimTime stop_time);
+
+  const CycleWatchdog& watchdog() const { return watchdog_; }
+  const AdmissionController& admission() const { return admission_; }
 
   // Injected link / control-plane / data-plane faults; configure before
   // Run() (see src/fault/fault_injector.h).
@@ -166,8 +240,22 @@ class BdsController {
     SimTime from;
     SimTime to;
   };
+  struct ReplicaEvent {
+    int replica;
+    SimTime at;
+    bool recovery;
+  };
 
   void RegisterArrivals(SimTime now);
+  // Admission-gated pull from the open-loop arrival process plus the
+  // deferred-job FIFO; returns whether any job was registered.
+  bool RegisterOpenArrivals(SimTime now);
+  void AdmitJobNow(const MulticastJob& job);
+  void ApplyReplicaEvents(SimTime now);
+  // Drops jobs recorded complete from the replica state(s); jobs a server
+  // failure re-owed stay queued until they complete again.
+  void RetireCompleted();
+  int64_t JobDeliveries(const MulticastJob& job) const;
   void ApplyFailures(SimTime now);
   // Drains due link-fault events: updates the simulator's capacity factors
   // and kills transfers crossing hard-down links (cancel-and-credit for
@@ -237,6 +325,29 @@ class BdsController {
   int64_t deliveries_this_cycle_ = 0;
 
   std::vector<DcId> active_agent_dcs_;  // DCs participating in current jobs.
+
+  // --- Long-running service mode. ---
+  CycleWatchdog watchdog_;
+  AdmissionController admission_;
+  ArrivalProcess* open_arrivals_ = nullptr;  // Not owned.
+  SimTime arrivals_stop_ = 0.0;
+  std::deque<MulticastJob> deferred_jobs_;
+  int64_t deferred_deliveries_ = 0;
+
+  std::vector<ReplicaEvent> replica_events_;  // Sorted by time.
+  size_t next_replica_event_ = 0;
+
+  bool retire_completed_ = false;
+  int64_t max_cycle_stats_ = 0;          // 0 = keep every CycleStats.
+  std::vector<JobId> retirable_;         // Completed, awaiting retirement.
+  EmpiricalDistribution completion_durations_;
+  uint64_t completion_digest_ = 0x9E3779B97F4A7C15ULL;
+  uint64_t cycles_digest_ = 0x9E3779B97F4A7C15ULL;
+  int64_t total_cycles_ = 0;
+  int64_t jobs_completed_total_ = 0;
+  int64_t peak_live_pending_ = 0;
+  int64_t peak_live_jobs_ = 0;
+  int64_t peak_live_flows_ = 0;
 };
 
 }  // namespace bds

@@ -89,6 +89,10 @@ StatusOr<ChaosPlan> BdsService::InstallChaos(uint64_t seed, const ChaosOptions& 
   for (const auto& [from, to] : plan->controller_outages) {
     BDS_RETURN_IF_ERROR(controller_->ScheduleControllerOutage(from, to));
   }
+  for (const ChaosPlan::ReplicaFailureEvent& e : plan->replica_failures) {
+    BDS_RETURN_IF_ERROR(controller_->ScheduleReplicaFailure(e.replica, e.fail_at));
+    BDS_RETURN_IF_ERROR(controller_->ScheduleReplicaRecovery(e.replica, e.recover_at));
+  }
   return plan;
 }
 
@@ -98,6 +102,62 @@ void BdsService::EnableBackgroundTraffic(BackgroundTrafficModel::Options options
 }
 
 StatusOr<RunReport> BdsService::Run(SimTime deadline) { return controller_->Run(deadline); }
+
+StatusOr<SteadyStateReport> BdsService::RunSteadyState(const SteadyStateOptions& options) {
+  BDS_RETURN_IF_ERROR(ValidateSteadyStateOptions(options));
+
+  ArrivalProcessOptions ap = options.arrivals;
+  ap.num_dcs = topo_.num_dcs();
+  ap.block_size = options_.block_size;
+  ap.first_job_id = next_job_id_;
+  BDS_RETURN_IF_ERROR(ValidateArrivalOptions(ap));
+  ArrivalProcess arrivals(std::move(ap));
+
+  controller_->ConfigureOverload(options.overload);
+  controller_->ConfigureAdmission(options.admission);
+  controller_->ConfigureRetirement(options.retire_completed, options.completed_flow_history,
+                                   options.max_cycle_stats);
+  controller_->SetArrivalProcess(&arrivals, options.duration);
+
+  const SimTime deadline = options.duration + (options.drain ? options.drain_limit : 0.0);
+  auto run = controller_->Run(deadline);
+  // The arrival process is stack-local: detach it before any return so the
+  // controller never holds a dangling pointer.
+  controller_->SetArrivalProcess(nullptr, 0.0);
+  next_job_id_ = std::max(next_job_id_, arrivals.next_job_id());
+  if (!run.ok()) {
+    return run.status();
+  }
+
+  SteadyStateReport report;
+  report.run = std::move(run).value();
+  report.jobs_generated = arrivals.generated();
+  report.admission = controller_->admission().stats();
+  report.estimated_service_rate = controller_->admission().estimated_service_rate();
+  report.jobs_completed = report.run.jobs_completed_total;
+  report.completion_p50_minutes = ToMinutes(report.run.completion_p50);
+  report.completion_p95_minutes = ToMinutes(report.run.completion_p95);
+  report.completion_p99_minutes = ToMinutes(report.run.completion_p99);
+  if (!report.run.job_durations.empty()) {
+    report.completion_mean_minutes = ToMinutes(report.run.job_durations.Mean());
+    report.completion_max_minutes = ToMinutes(report.run.job_durations.Max());
+  }
+  const CycleWatchdog& watchdog = controller_->watchdog();
+  report.cycle_overruns = watchdog.overrun_cycles();
+  report.worst_overrun_seconds = watchdog.worst_overrun_seconds();
+  report.rung_cycles = watchdog.rung_cycles();
+  report.transitions = watchdog.transitions();
+  report.transition_digest = watchdog.TransitionDigest();
+  report.peak_live_pending = report.run.peak_live_pending;
+  report.peak_live_jobs = report.run.peak_live_jobs;
+  report.peak_live_flows = report.run.peak_live_flows;
+  report.retired_jobs = report.run.retired_jobs;
+  report.retired_blocks = report.run.retired_blocks;
+  report.live_jobs_at_end = controller_->state().num_live_jobs();
+  report.live_pending_at_end = controller_->state().num_pending();
+  report.dropped_flow_records = controller_->simulator().dropped_flow_records();
+  return report;
+}
 
 StatusOr<MulticastRunResult> BdsStrategy::Run(const Topology& topo,
                                               const WanRoutingTable& routing,

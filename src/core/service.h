@@ -22,6 +22,7 @@
 #include "src/baselines/strategy.h"
 #include "src/common/status.h"
 #include "src/core/options.h"
+#include "src/core/steady_state.h"
 #include "src/fault/chaos.h"
 #include "src/topology/routing.h"
 #include "src/topology/topology.h"
@@ -59,6 +60,12 @@ class BdsService {
 
   // Runs everything to completion (or deadline) and reports.
   StatusOr<RunReport> Run(SimTime deadline = kTimeInfinity);
+
+  // Long-running service mode (src/core/steady_state.h): open-loop arrivals
+  // for options.duration simulated seconds with admission control, the
+  // cycle-deadline watchdog, and bounded-memory retirement, then an optional
+  // drain. Pre-submitted jobs and injected faults participate normally.
+  StatusOr<SteadyStateReport> RunSteadyState(const SteadyStateOptions& options);
 
   const Topology& topology() const { return topo_; }
   const WanRoutingTable& routing() const { return routing_; }

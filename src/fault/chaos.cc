@@ -80,12 +80,26 @@ StatusOr<ChaosPlan> InstallRandomChaos(const Topology& topo, uint64_t seed,
     plan.controller_outages.emplace_back(from, to);
   }
 
-  char buf[160];
+  // Replica events draw AFTER everything else and only when enabled, so
+  // plans generated with max_replica_failures = 0 keep the exact RNG
+  // sequence (and therefore faults) older seeds produced.
+  if (options.max_replica_failures > 0 && options.controller_replicas > 0) {
+    int n = static_cast<int>(rng.UniformInt(0, options.max_replica_failures));
+    for (int i = 0; i < n; ++i) {
+      int replica =
+          static_cast<int>(rng.UniformInt(0, options.controller_replicas - 1));
+      auto [from, to] = DrawWindow(rng, options.horizon, /*min_len=*/3.0);
+      plan.replica_failures.push_back(ChaosPlan::ReplicaFailureEvent{replica, from, to});
+    }
+  }
+
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "downs=%d degr=%d flaps=%d outages=%d report_loss=%.2f push_drop=%.2f "
-                "corrupt=%.3f",
+                "downs=%d degr=%d flaps=%d outages=%d replica_fails=%d report_loss=%.2f "
+                "push_drop=%.2f corrupt=%.3f",
                 plan.link_downs, plan.link_degradations, plan.link_flaps,
                 static_cast<int>(plan.controller_outages.size()),
+                static_cast<int>(plan.replica_failures.size()),
                 plan.control_plane.report_loss_prob, plan.control_plane.push_drop_prob,
                 plan.data_plane.corruption_prob);
   plan.description = buf;

@@ -35,12 +35,28 @@ struct ChaosOptions {
   double corruption_prob_max = 0.05;
   // Also draw one full controller outage window (agents fall back, §5.3).
   bool include_controller_outage = true;
+  // Individual controller-replica fail/recover windows (0 disables, keeping
+  // the RNG draw sequence of older plans unchanged). Each event fails one
+  // replica in [0, controller_replicas) and recovers it before the horizon;
+  // the replica set handles failover, so these exercise master elections —
+  // and a headless window if every replica happens to be down at once.
+  int max_replica_failures = 0;
+  int controller_replicas = 3;
 };
 
 // What a seed drew. `controller_outages` must be applied by the caller (the
 // injector has no controller handle); everything else is already installed.
 struct ChaosPlan {
   std::vector<std::pair<SimTime, SimTime>> controller_outages;
+  // Per-replica fail/recover events; applied by the caller via
+  // BdsController::ScheduleReplicaFailure/Recovery (like the outages, the
+  // injector has no controller handle).
+  struct ReplicaFailureEvent {
+    int replica = 0;
+    SimTime fail_at = 0.0;
+    SimTime recover_at = 0.0;
+  };
+  std::vector<ReplicaFailureEvent> replica_failures;
   ControlPlaneFaultOptions control_plane;
   DataPlaneFaultOptions data_plane;
   int link_downs = 0;

@@ -1,0 +1,56 @@
+#include "src/scheduler/admission.h"
+
+namespace bds {
+
+void AdmissionController::ObserveCycle(int64_t blocks_delivered, bool had_backlog) {
+  if (!had_backlog) {
+    return;
+  }
+  const double x = static_cast<double>(blocks_delivered);
+  if (observed_cycles_ == 0) {
+    service_rate_ = x;
+  } else {
+    service_rate_ += options_.service_rate_alpha * (x - service_rate_);
+  }
+  ++observed_cycles_;
+}
+
+bool AdmissionController::OverBudget(int64_t job_deliveries, int64_t backlog_deliveries) const {
+  const int64_t after = backlog_deliveries + job_deliveries;
+  if (options_.max_backlog_deliveries > 0 && after > options_.max_backlog_deliveries) {
+    return true;
+  }
+  if (observed_cycles_ < options_.bootstrap_cycles) {
+    return false;  // No reliable rate estimate yet; stay optimistic.
+  }
+  if (service_rate_ <= 0.0) {
+    // A formed estimate of zero means backlogged cycles are draining
+    // nothing; any addition is unservable.
+    return true;
+  }
+  return static_cast<double>(after) / service_rate_ > options_.max_backlog_cycles;
+}
+
+AdmissionDecision AdmissionController::Admit(int64_t job_deliveries,
+                                             int64_t backlog_deliveries) {
+  ++stats_.offered;
+  if (!options_.enabled || !OverBudget(job_deliveries, backlog_deliveries)) {
+    ++stats_.accepted;
+    return AdmissionDecision::kAccept;
+  }
+  if (options_.policy == AdmissionPolicy::kDefer) {
+    return AdmissionDecision::kDefer;  // Caller queues it (or rejects on overflow).
+  }
+  ++stats_.rejected;
+  return AdmissionDecision::kReject;
+}
+
+AdmissionDecision AdmissionController::ReofferDeferred(int64_t job_deliveries,
+                                                       int64_t backlog_deliveries) const {
+  if (!options_.enabled || !OverBudget(job_deliveries, backlog_deliveries)) {
+    return AdmissionDecision::kAccept;
+  }
+  return AdmissionDecision::kDefer;
+}
+
+}  // namespace bds

@@ -420,10 +420,18 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
   int64_t stale_requeues = 0;
   bool early_exit = false;
 
+  // Effective per-cycle selection cap: the configured cap, tightened to
+  // shed_deliveries_cap when the degradation ladder reached kShedCandidates.
+  int64_t max_deliveries = options_.max_deliveries_per_cycle;
+  if (rung_ >= DegradationRung::kShedCandidates && options_.shed_deliveries_cap > 0) {
+    max_deliveries = max_deliveries > 0
+                         ? std::min(max_deliveries, options_.shed_deliveries_cap)
+                         : options_.shed_deliveries_cap;
+  }
+
   std::vector<Selected> selected;
   while (!queue_empty()) {
-    if (options_.max_deliveries_per_cycle > 0 &&
-        static_cast<int64_t>(selected.size()) >= options_.max_deliveries_per_cycle) {
+    if (max_deliveries > 0 && static_cast<int64_t>(selected.size()) >= max_deliveries) {
       break;
     }
     if (static_cast<int64_t>(saturated_dests.size()) >= owed_servers ||
@@ -587,7 +595,15 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
   instance.commodities.resize(num_subtasks);
   subtask_paths_.resize(num_subtasks);
 
-  if (options_.use_path_cache) {
+  // Degradation rung kCachedPaths and above: route every subtask over its
+  // single best cached per-DC-pair path — no alternate-route exploration,
+  // and the cache is used even in the enumerate-per-subtask ablation mode.
+  const bool use_path_cache =
+      options_.use_path_cache || rung_ >= DegradationRung::kCachedPaths;
+  const int route_cap =
+      rung_ >= DegradationRung::kCachedPaths ? 1 : options_.max_wan_routes;
+
+  if (use_path_cache) {
     // Serial pre-pass so the parallel materialization below only performs
     // read-only cache lookups.
     for (const Subtask& st : subtasks) {
@@ -601,13 +617,13 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
     for (size_t i = begin; i < end; ++i) {
       const Subtask& st = subtasks[i];
       std::vector<ServerPath>& paths = subtask_paths_[i];
-      if (options_.use_path_cache) {
+      if (use_path_cache) {
         path_cache_.MaterializePaths(st.src, st.dst, &paths);
       } else {
         paths = EnumerateServerPaths(*topo_, *routing_, st.src, st.dst);
-        if (static_cast<int>(paths.size()) > options_.max_wan_routes) {
-          paths.resize(static_cast<size_t>(options_.max_wan_routes));
-        }
+      }
+      if (static_cast<int>(paths.size()) > route_cap) {
+        paths.resize(static_cast<size_t>(route_cap));
       }
       McfCommodity& commodity = instance.commodities[i];
       commodity.demand = st.bytes / options_.cycle_length;
@@ -625,22 +641,27 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
 
   // Solver dispatch. The sharded solver requires the incremental FPTAS (it
   // is that solver's push loop run per link-disjoint group) — exact-LP and
-  // reference-FPTAS runs ignore num_shards.
+  // reference-FPTAS runs ignore num_shards. Rung kCoarseEpsilon and above
+  // trades routing precision for running time by coarsening epsilon.
+  const double fptas_epsilon =
+      rung_ >= DegradationRung::kCoarseEpsilon
+          ? std::min(0.5, options_.fptas_epsilon * options_.degraded_epsilon_factor)
+          : options_.fptas_epsilon;
   McfShardStats shard_stats;
   McfResult flows;
   if (options_.use_exact_lp) {
     flows = SolveMcfSimplex(instance);
   } else if (!options_.use_incremental_fptas) {
-    flows = SolveMcfFptasReference(instance, options_.fptas_epsilon);
+    flows = SolveMcfFptasReference(instance, fptas_epsilon);
   } else if (options_.num_shards > 1) {
     McfShardOptions shard_options;
     shard_options.num_shards = options_.num_shards;
-    flows = SolveMcfFptasSharded(instance, options_.fptas_epsilon, shard_options, &pool_,
+    flows = SolveMcfFptasSharded(instance, fptas_epsilon, shard_options, &pool_,
                                  &shard_stats);
     decision.num_shard_components = shard_stats.num_components;
     decision.num_shard_groups = shard_stats.num_groups;
   } else {
-    flows = SolveMcfFptas(instance, options_.fptas_epsilon);
+    flows = SolveMcfFptas(instance, fptas_epsilon);
   }
   // Phase accounting: instance build + push loops count as "solve"; the
   // sharded solver's global finalize is the shard merge and is charged to

@@ -23,6 +23,7 @@
 #include "src/common/types.h"
 #include "src/lp/mcf.h"
 #include "src/scheduler/decision.h"
+#include "src/scheduler/degradation.h"
 #include "src/scheduler/replica_state.h"
 #include "src/topology/path_cache.h"
 #include "src/topology/routing.h"
@@ -113,6 +114,13 @@ struct ControllerAlgorithmOptions {
   // Ignored by schedule_all / use_exact_lp, whose solvers have no shard
   // seam.
   int num_shards = 1;
+  // Degradation-ladder knob positions (src/scheduler/degradation.h); only
+  // consulted when SetDegradationRung raises the rung above kNormal.
+  // kCoarseEpsilon multiplies fptas_epsilon by this factor (capped at 0.5):
+  double degraded_epsilon_factor = 4.0;
+  // kShedCandidates caps deliveries selected per cycle at this (combined
+  // with max_deliveries_per_cycle by min when both are set):
+  int64_t shed_deliveries_cap = 4096;
 };
 
 class ControllerAlgorithm {
@@ -138,6 +146,14 @@ class ControllerAlgorithm {
   // by the path-cache shard test.
   ServerPathCache::Stats path_cache_stats() const { return path_cache_.stats(); }
 
+  // Degradation ladder (set by the cycle-deadline watchdog before each
+  // cycle). Rungs kCachedPaths..kShedCandidates cheapen this Decide() call:
+  // single cached path per subtask, coarser FPTAS epsilon, shed selection
+  // cap. kExtendDecisions is realized by the controller (it skips Decide()
+  // entirely); the algorithm treats it like kShedCandidates if called.
+  void SetDegradationRung(DegradationRung rung) { rung_ = rung; }
+  DegradationRung degradation_rung() const { return rung_; }
+
   const ControllerAlgorithmOptions& options() const { return options_; }
 
  private:
@@ -159,6 +175,7 @@ class ControllerAlgorithm {
   const Topology* topo_;
   const WanRoutingTable* routing_;
   ControllerAlgorithmOptions options_;
+  DegradationRung rung_ = DegradationRung::kNormal;
   ServerPathCache path_cache_;
   ParallelRunner pool_;
 

@@ -1,0 +1,54 @@
+// Named rungs of the controller's graceful-degradation ladder.
+//
+// When the cycle-deadline watchdog (src/control/overload.h) decides a cycle
+// can no longer finish inside cycle_length, it steps the controller down this
+// ladder one rung at a time; each rung trades decision quality for cycle CPU:
+//
+//   kNormal          full algorithm, configured knobs.
+//   kCachedPaths     route every subtask over its single best cached
+//                    per-DC-pair path (no alternate-route exploration).
+//   kCoarseEpsilon   additionally coarsen the FPTAS epsilon — fewer phases,
+//                    a (1 - eps)-worse allocation.
+//   kShedCandidates  additionally cap the deliveries selected per cycle, so
+//                    the candidate build and the MCF stay small.
+//   kExtendDecisions additionally skip scheduling + routing entirely;
+//                    in-flight transfers keep their allocations (the §5.1
+//                    non-blocking update extended for one more cycle).
+//
+// The enum lives in src/scheduler (not src/control) because the algorithm is
+// what applies rungs 1-3; the watchdog that chooses the rung is control-side.
+
+#ifndef BDS_SRC_SCHEDULER_DEGRADATION_H_
+#define BDS_SRC_SCHEDULER_DEGRADATION_H_
+
+namespace bds {
+
+enum class DegradationRung : int {
+  kNormal = 0,
+  kCachedPaths = 1,
+  kCoarseEpsilon = 2,
+  kShedCandidates = 3,
+  kExtendDecisions = 4,
+};
+
+inline constexpr int kNumDegradationRungs = 5;
+
+inline const char* DegradationRungName(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kNormal:
+      return "normal";
+    case DegradationRung::kCachedPaths:
+      return "cached_paths";
+    case DegradationRung::kCoarseEpsilon:
+      return "coarse_epsilon";
+    case DegradationRung::kShedCandidates:
+      return "shed_candidates";
+    case DegradationRung::kExtendDecisions:
+      return "extend_decisions";
+  }
+  return "unknown";
+}
+
+}  // namespace bds
+
+#endif  // BDS_SRC_SCHEDULER_DEGRADATION_H_

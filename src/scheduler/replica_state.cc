@@ -172,6 +172,30 @@ void ReplicaState::RemoveServer(ServerId server) {
 
 void ReplicaState::RestoreServer(ServerId server) { failed_servers_.erase(server); }
 
+Status ReplicaState::RetireJob(JobId job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return NotFoundError("RetireJob: no such job");
+  }
+  JobInfo& info = it->second;
+  if (info.owed != 0) {
+    return FailedPreconditionError("RetireJob: job still owes deliveries");
+  }
+  for (const BlockInfo& bi : info.blocks) {
+    for (ServerId h : bi.holders) {
+      auto held = held_by_server_.find(h);
+      if (held != held_by_server_.end() && --held->second <= 0) {
+        held_by_server_.erase(held);
+      }
+    }
+  }
+  retired_blocks_ += static_cast<int64_t>(info.blocks.size());
+  ++retired_jobs_;
+  job_ids_.erase(std::find(job_ids_.begin(), job_ids_.end(), job));
+  jobs_.erase(it);
+  return Status::Ok();
+}
+
 bool ReplicaState::ServerHasBlock(JobId job, int64_t block, ServerId server) const {
   const JobInfo* info = Find(job);
   if (info == nullptr || block < 0 || block >= static_cast<int64_t>(info->blocks.size())) {

@@ -204,6 +204,19 @@ class ReplicaState {
   // NoteDelivery calls whose block the destination already held.
   int64_t redundant_deliveries() const { return redundant_deliveries_; }
 
+  // Drops a fully-delivered job from the state so a long-running service
+  // stays O(live work): holder bookkeeping is unwound, the job leaves
+  // job_ids() (ForEachOwed stops visiting it — also a per-cycle time win,
+  // since the candidate build streams every registered job), and credited_
+  // keeps its monotone count. Rejects jobs that still owe deliveries — a
+  // server failure can re-owe a previously complete job, in which case the
+  // caller retries after it completes again.
+  Status RetireJob(JobId job);
+
+  int64_t retired_jobs() const { return retired_jobs_; }
+  int64_t retired_blocks() const { return retired_blocks_; }
+  int64_t num_live_jobs() const { return static_cast<int64_t>(job_ids_.size()); }
+
  private:
   // DC sets are 64-bit masks: BDS deployments span 10-30 DCs (the paper's
   // fleet), and AddJob rejects topologies beyond 64.
@@ -230,6 +243,8 @@ class ReplicaState {
   int64_t pending_count_ = 0;
   int64_t credited_ = 0;
   int64_t redundant_deliveries_ = 0;
+  int64_t retired_jobs_ = 0;
+  int64_t retired_blocks_ = 0;
   std::unordered_map<ServerId, ServerOriginStats> origin_stats_;
 };
 

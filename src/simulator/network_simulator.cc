@@ -389,6 +389,17 @@ void NetworkSimulator::CompleteBatch(SimTime t) {
       on_complete_(r);
     }
   }
+
+  // Bounded history for long-running service mode: drop the oldest records
+  // once the cap is exceeded (amortized — only when the overshoot is large
+  // enough to be worth the memmove).
+  if (completed_history_limit_ >= 0 &&
+      static_cast<int64_t>(completed_.size()) >
+          completed_history_limit_ + completed_history_limit_ / 2 + 64) {
+    const int64_t drop = static_cast<int64_t>(completed_.size()) - completed_history_limit_;
+    completed_.erase(completed_.begin(), completed_.begin() + drop);
+    dropped_flow_records_ += drop;
+  }
 }
 
 Status NetworkSimulator::AdvanceTo(SimTime t) {

@@ -115,6 +115,13 @@ class NetworkSimulator {
 
   const std::vector<FlowRecord>& completed_flows() const { return completed_; }
 
+  // Caps the completed-flow history kept in completed_flows() so a
+  // long-running service stays O(live work): once the vector exceeds the
+  // limit (plus amortization slack) the oldest records are dropped and
+  // counted in dropped_flow_records(). -1 (the default) keeps everything.
+  void set_completed_history_limit(int64_t limit) { completed_history_limit_ = limit; }
+  int64_t dropped_flow_records() const { return dropped_flow_records_; }
+
   // Total bulk bytes that have crossed `link` so far.
   Bytes LinkBytesTransferred(LinkId link) const;
 
@@ -221,6 +228,8 @@ class NetworkSimulator {
 
   CompletionCallback on_complete_;
   std::vector<FlowRecord> completed_;
+  int64_t completed_history_limit_ = -1;
+  int64_t dropped_flow_records_ = 0;
   std::unordered_map<LinkId, TimeSeries> tracked_;
 };
 

@@ -44,7 +44,12 @@ SoakOutcome RunOneSeed(uint64_t seed) {
   Topology topo = BuildFullMesh(3, 2, Gbps(1.0), MBps(50.0), MBps(50.0)).value();
   auto service = BdsService::Create(std::move(topo), options).value();
   EXPECT_TRUE(service->CreateJob(0, {1, 2}, kJobBytes).ok());
-  auto plan = service->InstallChaos(seed);
+  // Controller-replica fail/recover windows ride along with the link and
+  // plane faults, so the soak also exercises master failover.
+  ChaosOptions chaos;
+  chaos.max_replica_failures = 2;
+  chaos.controller_replicas = options.controller_replicas;
+  auto plan = service->InstallChaos(seed, chaos);
   EXPECT_TRUE(plan.ok()) << plan.status().ToString();
 
   SoakOutcome out;

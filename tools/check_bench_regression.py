@@ -34,6 +34,22 @@ DEFAULT_THRESHOLD = 0.25
 # The knobs-off config every other config is normalized by, when the JSON
 # does not name one via its "reference_config" field.
 DEFAULT_REFERENCE_CONFIG = "baseline"
+# Steady-state baselines (``BENCH_steady.json``, stamped ``"mode":
+# "steady"``) are gated differently: every column is
+# simulation-deterministic (fixed seeds, modeled cycle costs — no wall
+# clock), so instead of timing ratios the gate compares the service-level
+# metrics per load-factor point against tight tolerances. Fingerprints are
+# printed for drift diagnosis but not gated bitwise: an intentional
+# algorithm change legitimately moves them, and the metric tolerances are
+# the behavioural contract.
+STEADY_METRICS = {
+    # metric -> (absolute floor, relative tolerance vs committed value)
+    "completed": (25, 0.15),
+    "rejected": (25, 0.15),
+    "overrun_cycles": (25, 0.15),
+    "p99_minutes": (2.0, 0.15),
+}
+
 # Only gate (point, config) pairs whose committed relative time shows the
 # optimization had a *strong* edge there (e.g. the all-knobs config and the
 # incremental FPTAS, at ~0.4-0.6x of the reference). A config near 1.0x of
@@ -103,6 +119,51 @@ def run_bench(bench, smoke):
     return path
 
 
+def compare_steady(baseline_data, fresh_data):
+    """Tolerance gate for the deterministic steady-state sweep. Returns the
+    number of out-of-tolerance (point, metric) pairs."""
+    baseline_points = {p["load_factor"]: p for p in baseline_data["points"]}
+    fresh_points = {p["load_factor"]: p for p in fresh_data["points"]}
+    common = sorted(set(baseline_points) & set(fresh_points))
+    if not common:
+        raise SystemExit("steady mode: no common load_factor points")
+
+    failures = []
+    compared = 0
+    print(f"{'load':>6}  {'metric':>16}  {'committed':>10}  {'fresh':>10}  {'allowed':>8}")
+    for load in common:
+        base, fresh = baseline_points[load], fresh_points[load]
+        for metric, (abs_floor, rel_tol) in STEADY_METRICS.items():
+            if metric not in base or metric not in fresh:
+                continue
+            was, now = base[metric], fresh[metric]
+            allowed = max(abs_floor, rel_tol * abs(was))
+            delta = abs(now - was)
+            compared += 1
+            flag = ""
+            if delta > allowed:
+                failures.append((load, metric, was, now, allowed))
+                flag = "  REGRESSION"
+            print(f"{load:>6.2f}  {metric:>16}  {was:>10.3f}  {now:>10.3f}"
+                  f"  {allowed:>8.3f}{flag}")
+        if base.get("fingerprint") != fresh.get("fingerprint"):
+            print(f"{load:>6.2f}  {'fingerprint':>16}  {base.get('fingerprint')} -> "
+                  f"{fresh.get('fingerprint')}  (informational, not gated)")
+
+    if compared == 0:
+        print("error: no gateable steady metrics common to the two files",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} steady metric(s) out of tolerance:", file=sys.stderr)
+        for load, metric, was, now, allowed in failures:
+            print(f"  load {load}: {metric} {was} -> {now} (allowed ±{allowed:.3f})",
+                  file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} steady metrics within tolerance of the committed baseline")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -142,6 +203,11 @@ def main():
     if fresh_data.get("telemetry_enabled", False):
         raise SystemExit(f"{fresh_path}: fresh run had telemetry enabled; "
                          "bench timings must be taken with telemetry off")
+    if baseline_data.get("mode") == "steady" or fresh_data.get("mode") == "steady":
+        if baseline_data.get("mode") != fresh_data.get("mode"):
+            raise SystemExit("mode mismatch: one file is a steady-state sweep "
+                             "and the other is a timing sweep")
+        return compare_steady(baseline_data, fresh_data)
     ref_config = reference_config(baseline_data)
     field = time_field(baseline_data, fresh_data)
     print(f"comparing '{field}' ratios vs '{ref_config}'")
