@@ -315,11 +315,11 @@ void DecentralizedEngine::HandleServerFailure(ServerId server) {
 int DecentralizedEngine::HandleLinkFault(LinkId link) {
   std::vector<int64_t> doomed;
   for (const auto& [tag, t] : transfers_) {
-    const Flow* flow = sim_->FindFlow(t.flow);
-    if (flow == nullptr) {
+    auto flow = sim_->FindFlow(t.flow);
+    if (!flow) {
       continue;
     }
-    if (std::find(flow->links.begin(), flow->links.end(), link) != flow->links.end()) {
+    if (flow->Crosses(link)) {
       doomed.push_back(tag);
     }
   }

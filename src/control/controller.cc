@@ -483,11 +483,11 @@ void BdsController::ApplyLinkFaults(SimTime now) {
     // them over surviving paths. Fallback downloads requeue immediately.
     std::vector<int64_t> doomed;
     for (const auto& [tag, t] : transfers_) {
-      const Flow* flow = sim_.FindFlow(t.flow);
-      if (flow == nullptr) {
+      auto flow = sim_.FindFlow(t.flow);
+      if (!flow) {
         continue;
       }
-      if (std::find(flow->links.begin(), flow->links.end(), e.link) != flow->links.end()) {
+      if (flow->Crosses(e.link)) {
         doomed.push_back(tag);
       }
     }
@@ -595,8 +595,8 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
   const double horizon = options_.restall_cycles * options_.algorithm.cycle_length;
   std::vector<int64_t> stalled;
   for (const auto& [tag, t] : transfers_) {
-    const Flow* flow = sim_.FindFlow(t.flow);
-    if (flow == nullptr) {
+    auto flow = sim_.FindFlow(t.flow);
+    if (!flow) {
       stalled.push_back(tag);  // Flow vanished; clean up bookkeeping.
       continue;
     }
@@ -626,9 +626,9 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
   // for the fraction of the coming cycle they will still be running (agents
   // report per-flow progress, so the controller knows the remaining time).
   for (const auto& [tag, t] : transfers_) {
-    const Flow* flow = sim_.FindFlow(t.flow);
+    auto flow = sim_.FindFlow(t.flow);
     double fraction = 1.0;
-    if (flow != nullptr && flow->current_rate > 0.0) {
+    if (flow && flow->current_rate > 0.0) {
       double remaining_seconds = flow->RemainingAt(sim_.now()) / flow->current_rate;
       fraction = std::min(1.0, remaining_seconds / options_.algorithm.cycle_length);
     }
@@ -704,6 +704,10 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     push_plan.emplace_back(dst, drop);
     return drop;
   };
+  // The cycle's flow starts go down as one churn batch: the simulator defers
+  // incidence insertion and dirty marking until commit and then runs a
+  // single reallocation pass over the union of dirty components.
+  sim_.BeginBatch();
   for (TransferAssignment& a : decision.transfers) {
     if (push_dropped(a.dst_server)) {
       continue;
@@ -720,6 +724,7 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     transfers_.emplace(tag, CtrlTransfer{std::move(a), dest_dc, *flow});
     ++stats.transfers_started;
   }
+  sim_.CommitBatch();
   BDS_TELEMETRY_COUNT("controller.transfers_started", stats.transfers_started);
   if (watchdog_.enabled()) {
     // Fold the cycle into the ladder and set the rung the NEXT cycle runs at.

@@ -12,17 +12,20 @@
 // The canonical entry points are component-scoped. Rates under progressive
 // filling decompose by connected components of the flow-link incidence
 // graph, so `Allocate` partitions the flow set into components and solves
-// each with `AllocateSubset` (flows ordered by id). `AllocateSubset` is what
-// the simulator's incremental reallocation calls directly for a single dirty
-// component; because it is a pure function of (sorted component flows, link
-// capacities), recomputing an untouched component reproduces bit-identical
-// rates — the invariant the incremental path relies on. The original
-// whole-network solver is retained as `AllocateReference` and checked
-// against `Allocate` by a randomized property suite (rates agree to
-// floating-point reassociation noise, ~1e-12 relative).
+// each with `AllocateSubset` (flows ordered by id). The hot-path overload of
+// `AllocateSubset` operates directly on the simulator's FlowSoA pool — the
+// waterfill reads/writes parallel slot arrays and scans paths out of the
+// shared CSR arena, so the inner loops touch contiguous memory only. The
+// Flow*-based overloads are thin shims that round-trip through a scratch
+// FlowSoA, so the randomized property suite that checks `Allocate` against
+// `AllocateReference` (the original whole-network solver, rates agree to
+// floating-point reassociation noise, ~1e-12 relative) exercises the exact
+// SoA code path the simulator runs.
 //
-// Scratch state is generation-stamped per link, so a subset solve costs
-// O(component links + flows), not O(topology links).
+// Scratch state is generation-stamped per link (including the flat
+// link->member-flow adjacency arena used by the component partition), so a
+// solve costs O(component links + flows), not O(topology links), with no
+// per-call clears or allocations at steady state.
 
 #ifndef BDS_SRC_SIMULATOR_BANDWIDTH_ALLOCATOR_H_
 #define BDS_SRC_SIMULATOR_BANDWIDTH_ALLOCATOR_H_
@@ -33,6 +36,7 @@
 
 #include "src/common/types.h"
 #include "src/simulator/flow.h"
+#include "src/simulator/flow_soa.h"
 
 namespace bds {
 
@@ -50,6 +54,23 @@ class BandwidthAllocator {
   void AllocateSubset(const std::vector<Rate>& capacities,
                       const std::vector<Flow*>& flows);
 
+  // Solves the `n` in-flight flows in `slots` (one link-connected component,
+  // sorted by flow id) on the SoA pool, writing soa.current_rate. Every slot
+  // must be live and un-completed — the simulator's pool only holds in-flight
+  // flows. Gathers into contiguous scratch and defers to the flat overload.
+  void AllocateSubset(const std::vector<Rate>& capacities, FlowSoA& soa,
+                      const int32_t* slots, size_t n);
+
+  // Hot-path core: the same progressive filling on caller-gathered flat
+  // arrays. Flow fi's path is links[offsets[fi]..offsets[fi+1]); pinned[fi]
+  // is its pinned rate (0 = fair share); rate[fi] receives the result. The
+  // component's slots are scattered across the pool, so solving on a
+  // component-local contiguous copy keeps every waterfill pass inside a few
+  // cache lines instead of re-missing per slot per round.
+  void AllocateSubset(const std::vector<Rate>& capacities, size_t n,
+                      const int32_t* offsets, const LinkId* links, const Rate* pinned,
+                      Rate* rate);
+
   // The original whole-network solver (single global filling pass over all
   // links), retained as the semantic reference for the parity suite.
   void AllocateReference(const std::vector<Rate>& capacities, std::vector<Flow*>& flows);
@@ -66,18 +87,35 @@ class BandwidthAllocator {
   std::vector<char> link_saturated_;
   std::vector<size_t> used_links_;
 
-  // Per-call flow scratch.
-  std::vector<Flow*> pinned_;
-  std::vector<Flow*> fair_;
+  // Per-call flow scratch (indices into the flat arrays being solved).
+  std::vector<int32_t> pinned_;
+  std::vector<int32_t> fair_;
   std::vector<char> frozen_;
 
-  // Component-partition scratch for Allocate().
+  // Gather scratch backing the slot-based AllocateSubset overload.
+  std::vector<int32_t> sub_off_;
+  std::vector<LinkId> sub_links_;
+  std::vector<Rate> sub_pinned_;
+  std::vector<Rate> sub_rate_;
+
+  // Component-partition scratch for Allocate(): a flat CSR arena mapping
+  // link -> member-flow indices, rebuilt per call via generation stamps
+  // (member_stamp_) with two counting passes — no per-link vectors, no
+  // per-call clears.
   uint64_t member_gen_ = 0;
   std::vector<uint64_t> member_stamp_;
-  std::vector<std::vector<size_t>> link_members_;
+  std::vector<size_t> member_links_;   // Links used this epoch.
+  std::vector<int32_t> member_begin_;  // Row offset into member_arena_.
+  std::vector<int32_t> member_fill_;   // Next write position per row.
+  std::vector<int32_t> member_arena_;  // Flow indices, grouped by link.
   std::vector<char> visited_;
   std::vector<size_t> comp_queue_;
   std::vector<Flow*> comp_flows_;
+
+  // Scratch pool backing the Flow*-based AllocateSubset shim.
+  FlowSoA scratch_;
+  std::vector<int32_t> scratch_slots_;
+  std::vector<Flow*> scratch_flows_;
 };
 
 }  // namespace bds

@@ -7,6 +7,11 @@
 //              exceeds it, and is scaled down only if links are oversubscribed.
 //  * fair    — decentralized baselines let TCP find the rate; modelled as
 //              max-min fair sharing of residual link capacity.
+//
+// NetworkSimulator does not store Flow objects: active flows live in a
+// struct-of-arrays pool (FlowSoA) and are observed through FlowView. The
+// Flow struct remains the allocator's standalone input type (reference
+// solver, property tests).
 
 #ifndef BDS_SRC_SIMULATOR_FLOW_H_
 #define BDS_SRC_SIMULATOR_FLOW_H_
@@ -44,18 +49,42 @@ struct Flow {
   int64_t tag = 0;
   int64_t tag2 = 0;
 
-  // --- Hot-path bookkeeping owned by NetworkSimulator / LinkFlowIndex. ---
-  // Bumped whenever current_rate changes; completion-heap entries carrying an
-  // older epoch are stale and lazily discarded.
-  uint32_t rate_epoch = 0;
-  // Visit marker for component gathering (LinkFlowIndex generation counter).
-  uint64_t visit_stamp = 0;
-  // incidence_pos[i] is this flow's position in the per-link entry list of
-  // links[i], kept in sync by LinkFlowIndex's swap-erase.
-  std::vector<int32_t> incidence_pos;
-
   bool pinned() const { return pinned_rate > 0.0; }
   bool completed() const { return end_time >= 0.0; }
+
+  Bytes RemainingAt(SimTime t) const {
+    Bytes left = remaining - current_rate * (t - anchor_time);
+    return left > 0.0 ? left : 0.0;
+  }
+};
+
+// Read-only snapshot of an in-flight flow in the simulator's SoA pool,
+// returned by NetworkSimulator::FindFlow. `links` points into the pool's
+// shared path arena and is invalidated by the next flow start/cancel/
+// completion — consume it before mutating the simulator.
+struct FlowView {
+  FlowId id = kInvalidFlow;
+  Bytes total_bytes = 0.0;
+  Bytes remaining = 0.0;  // As of anchor_time; use RemainingAt(now).
+  SimTime anchor_time = 0.0;
+  Rate pinned_rate = 0.0;
+  Rate current_rate = 0.0;
+  SimTime start_time = 0.0;
+  int64_t tag = 0;
+  int64_t tag2 = 0;
+  const LinkId* links = nullptr;
+  int32_t num_links = 0;
+
+  bool pinned() const { return pinned_rate > 0.0; }
+
+  bool Crosses(LinkId link) const {
+    for (int32_t i = 0; i < num_links; ++i) {
+      if (links[i] == link) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   Bytes RemainingAt(SimTime t) const {
     Bytes left = remaining - current_rate * (t - anchor_time);

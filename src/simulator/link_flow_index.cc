@@ -10,31 +10,39 @@ void LinkFlowIndex::Reset(int num_links) {
   gen_ = 0;
 }
 
-void LinkFlowIndex::Add(Flow* flow) {
-  flow->incidence_pos.resize(flow->links.size());
-  for (size_t i = 0; i < flow->links.size(); ++i) {
-    auto& row = by_link_[static_cast<size_t>(flow->links[i])];
-    flow->incidence_pos[i] = static_cast<int32_t>(row.size());
-    row.push_back(LinkFlowEntry{flow, static_cast<int32_t>(i)});
+void LinkFlowIndex::Add(FlowSoA& soa, int32_t slot) {
+  const LinkId* links = soa.links(slot);
+  int32_t* pos = soa.inc_pos(slot);
+  int32_t n = soa.num_links(slot);
+  for (int32_t i = 0; i < n; ++i) {
+    auto& row = by_link_[static_cast<size_t>(links[i])];
+    pos[i] = static_cast<int32_t>(row.size());
+    row.push_back(LinkFlowEntry{slot, i});
   }
 }
 
-void LinkFlowIndex::Remove(Flow* flow) {
-  for (size_t i = 0; i < flow->links.size(); ++i) {
-    auto& row = by_link_[static_cast<size_t>(flow->links[i])];
-    size_t pos = static_cast<size_t>(flow->incidence_pos[i]);
-    BDS_CHECK(pos < row.size() && row[pos].flow == flow);
-    if (pos + 1 != row.size()) {
-      row[pos] = row.back();
-      row[pos].flow->incidence_pos[static_cast<size_t>(row[pos].hop)] =
-          static_cast<int32_t>(pos);
+void LinkFlowIndex::Remove(FlowSoA& soa, int32_t slot) {
+  const LinkId* links = soa.links(slot);
+  const int32_t* pos = soa.inc_pos(slot);
+  int32_t n = soa.num_links(slot);
+  for (int32_t i = 0; i < n; ++i) {
+    auto& row = by_link_[static_cast<size_t>(links[i])];
+    size_t p = static_cast<size_t>(pos[i]);
+    BDS_CHECK(p < row.size() && row[p].slot == slot);
+    if (p + 1 != row.size()) {
+      row[p] = row.back();
+      soa.inc_pos(row[p].slot)[row[p].hop] = static_cast<int32_t>(p);
+#ifndef NDEBUG
+      // The patched entry must still describe this link from the moved
+      // flow's perspective — a desync here corrupts every later swap-erase.
+      BDS_CHECK(soa.links(row[p].slot)[row[p].hop] == links[i]);
+#endif
     }
     row.pop_back();
   }
-  flow->incidence_pos.clear();
 }
 
-bool LinkFlowIndex::GatherFrom(LinkId seed, std::vector<Flow*>* out) {
+bool LinkFlowIndex::GatherFrom(LinkId seed, FlowSoA& soa, std::vector<int32_t>* out) {
   size_t s = static_cast<size_t>(seed);
   if (link_stamp_[s] == gen_) {
     return false;
@@ -45,27 +53,76 @@ bool LinkFlowIndex::GatherFrom(LinkId seed, std::vector<Flow*>* out) {
   }
   queue_.clear();
   queue_.push_back(seed);
-  bool any = false;
+  const size_t out_base = out->size();
+  size_t scan = out_base;  // Slots whose paths have been expanded so far.
   for (size_t head = 0; head < queue_.size(); ++head) {
     const auto& row = by_link_[static_cast<size_t>(queue_[head])];
-    for (const LinkFlowEntry& e : row) {
-      Flow* f = e.flow;
-      if (f->visit_stamp == gen_) {
-        continue;
+    const size_t rn = row.size();
+    // Pass A: append this row's unvisited slots. Whether a slot was already
+    // stamped is data-dependent per entry — a branch here mispredicts on
+    // roughly every other entry once rows overlap — so stamp unconditionally
+    // and grow the output by the (0 or 1) freshness flag instead.
+    out->resize(out->size() + rn);
+    int32_t* dst = out->data() + scan;
+    size_t w = 0;
+    for (size_t ri = 0; ri < rn; ++ri) {
+      // The row's slots are scattered across the pool (different line each),
+      // so issue their meta loads (stamp + path in one line) 8 entries ahead.
+      if (ri + 8 < rn) {
+        __builtin_prefetch(&soa.meta[static_cast<size_t>(row[ri + 8].slot)], 1);
       }
-      f->visit_stamp = gen_;
-      out->push_back(f);
-      any = true;
-      for (LinkId l : f->links) {
-        size_t li = static_cast<size_t>(l);
+      int32_t fs = row[ri].slot;
+      FlowMeta& m = soa.meta[static_cast<size_t>(fs)];
+      size_t fresh = m.visit_stamp != gen_ ? 1 : 0;
+      m.visit_stamp = gen_;
+      dst[w] = fs;
+      w += fresh;
+    }
+    out->resize(scan + w);
+    // Pass B: expand only the freshly appended slots — their meta lines are
+    // still hot from pass A — enqueuing any link not yet seen this epoch.
+    const size_t out_n = out->size();
+    for (; scan < out_n; ++scan) {
+      if (scan + 4 < out_n) {
+        const PathRef& pr = soa.meta[static_cast<size_t>((*out)[scan + 4])].path;
+        __builtin_prefetch(&soa.path_links[static_cast<size_t>(pr.begin)]);
+      }
+      const FlowMeta& m = soa.meta[static_cast<size_t>((*out)[scan])];
+      const LinkId* links = soa.path_links.data() + m.path.begin;
+      int32_t n = m.path.len;
+      for (int32_t i = 0; i < n; ++i) {
+        size_t li = static_cast<size_t>(links[i]);
         if (link_stamp_[li] != gen_) {
           link_stamp_[li] = gen_;
-          queue_.push_back(l);
+          queue_.push_back(links[i]);
         }
       }
     }
   }
-  return any;
+  return out->size() != out_base;
+}
+
+void LinkFlowIndex::RemapSlots(const std::vector<int32_t>& old_to_new) {
+  for (auto& row : by_link_) {
+    for (LinkFlowEntry& e : row) {
+      int32_t ns = old_to_new[static_cast<size_t>(e.slot)];
+      BDS_CHECK(ns >= 0);  // Only live flows are indexed.
+      e.slot = ns;
+    }
+  }
+}
+
+void LinkFlowIndex::CheckConsistency(const FlowSoA& soa) const {
+  for (size_t link = 0; link < by_link_.size(); ++link) {
+    const auto& row = by_link_[link];
+    for (size_t p = 0; p < row.size(); ++p) {
+      const LinkFlowEntry& e = row[p];
+      BDS_CHECK(soa.live(e.slot));
+      BDS_CHECK(e.hop >= 0 && e.hop < soa.num_links(e.slot));
+      BDS_CHECK(soa.links(e.slot)[e.hop] == static_cast<LinkId>(link));
+      BDS_CHECK(soa.inc_pos(e.slot)[e.hop] == static_cast<int32_t>(p));
+    }
+  }
 }
 
 }  // namespace bds

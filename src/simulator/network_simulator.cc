@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/telemetry/telemetry.h"
 
@@ -24,7 +25,7 @@ NetworkSimulator::NetworkSimulator(const Topology* topo) : topo_(topo) {
 }
 
 void NetworkSimulator::set_full_reallocation(bool on) {
-  BDS_CHECK(active_.empty());  // Mode must be fixed before flows exist.
+  BDS_CHECK(soa_.num_live() == 0);  // Mode must be fixed before flows exist.
   full_realloc_ = on;
 }
 
@@ -35,6 +36,105 @@ void NetworkSimulator::MarkDirty(LinkId link) {
     dirty_links_.push_back(link);
   }
   rates_dirty_ = true;
+}
+
+void NetworkSimulator::BeginBatch() {
+  BDS_CHECK(!in_batch_);
+  in_batch_ = true;
+  batch_adds_ = 0;
+}
+
+void NetworkSimulator::FlushBatchAdds() {
+  for (int32_t slot : pending_adds_) {
+    incidence_.Add(soa_, slot);
+    const LinkId* links = soa_.links(slot);
+    int32_t n = soa_.num_links(slot);
+    for (int32_t i = 0; i < n; ++i) {
+      MarkDirty(links[i]);
+    }
+  }
+  pending_adds_.clear();
+}
+
+namespace {
+// Reorder only when a batch lands enough flows to matter and they make up a
+// big share of the pool: a bulk submission (initial load, controller cycle
+// restart) pays one O(live) pass; a steady trickle of small batches never
+// triggers repeated rewrites.
+constexpr int64_t kReorderMinBatchAdds = 4096;
+}  // namespace
+
+void NetworkSimulator::CommitBatch() {
+  FlushBatchAdds();
+  in_batch_ = false;
+  if (batch_adds_ >= kReorderMinBatchAdds &&
+      batch_adds_ * 2 >= static_cast<int64_t>(soa_.num_live())) {
+    ReorderSlotsForLocality();
+  }
+  batch_adds_ = 0;
+}
+
+void NetworkSimulator::ReorderSlotsForLocality() {
+  const int32_t n = soa_.num_live();
+  if (n == 0) {
+    return;
+  }
+  // Lay the pool out component by component, ascending flow id within each
+  // component (components enumerated by ascending seed link, so the order is
+  // deterministic however live_slots_ is arranged). Two payoffs: a component
+  // solve scans a contiguous id-ordered slot range, and ReallocateComponent's
+  // cheap slot-sort canonicalization stays valid as components shrink or
+  // split — any subset of an id-ascending range is still id-ascending.
+  incidence_.BeginEpoch();
+  comp_slots_.clear();  // Borrow the solve scratch for the permutation.
+  comp_slots_.reserve(static_cast<size_t>(n));
+  for (LinkId l = 0; l < topo_->num_links(); ++l) {
+    size_t before = comp_slots_.size();
+    if (!incidence_.GatherFrom(l, soa_, &comp_slots_)) {
+      continue;
+    }
+    std::sort(comp_slots_.begin() + static_cast<int64_t>(before), comp_slots_.end(),
+              [this](int32_t a, int32_t b) {
+                return soa_.meta[static_cast<size_t>(a)].id < soa_.meta[static_cast<size_t>(b)].id;
+              });
+  }
+  // Every live flow has a non-empty path (StartFlow rejects empty ones), so
+  // the component sweep visited each exactly once.
+  BDS_CHECK(comp_slots_.size() == static_cast<size_t>(n));
+  soa_.CompactAndReorder(comp_slots_.data(), n, &old_to_new_);
+  incidence_.RemapSlots(old_to_new_);
+  for (int32_t& s : id_to_slot_) {
+    if (s >= 0) {
+      s = old_to_new_[static_cast<size_t>(s)];
+    }
+  }
+  // New slot numbering is already dense, so the live list is the identity.
+  live_slots_.resize(static_cast<size_t>(n));
+  slot_live_pos_.assign(static_cast<size_t>(n), -1);
+  for (int32_t i = 0; i < n; ++i) {
+    live_slots_[static_cast<size_t>(i)] = i;
+    slot_live_pos_[static_cast<size_t>(i)] = i;
+  }
+  // Heap entries follow their flow to its new slot; entries whose slot was
+  // freed belong to finished flows and are dropped. CompactHeap then culls
+  // entries invalidated by slot reuse (id mismatch) and restores the heap
+  // property — pop order is unchanged because the comparator is a strict
+  // total order on (key, id, epoch), which the remap does not touch.
+  size_t w = 0;
+  for (const CompletionEntry& e : heap_) {
+    int32_t ns = old_to_new_[static_cast<size_t>(e.slot)];
+    if (ns < 0) {
+      continue;
+    }
+    heap_[w] = e;
+    heap_[w].slot = ns;
+    ++w;
+  }
+  heap_.resize(w);
+  CompactHeap();
+#ifndef NDEBUG
+  incidence_.CheckConsistency(soa_);
+#endif
 }
 
 StatusOr<FlowId> NetworkSimulator::StartFlow(std::vector<LinkId> links, Bytes bytes,
@@ -62,67 +162,102 @@ StatusOr<FlowId> NetworkSimulator::StartFlow(std::vector<LinkId> links, Bytes by
   if (pinned_rate < 0.0) {
     return InvalidArgumentError("StartFlow: negative pinned rate");
   }
-  auto flow = std::make_unique<Flow>();
-  flow->id = next_flow_id_++;
-  flow->links = std::move(links);
-  flow->total_bytes = bytes;
-  flow->remaining = bytes;
-  flow->anchor_time = now_;
-  flow->pinned_rate = pinned_rate;
-  flow->start_time = now_;
-  flow->tag = tag;
-  flow->tag2 = tag2;
-  FlowId id = flow->id;
-  Flow* raw = flow.get();
-  index_[id] = active_.size();
-  active_.push_back(std::move(flow));
-  incidence_.Add(raw);
-  for (LinkId l : raw->links) {
-    MarkDirty(l);
+  FlowId id = next_flow_id_++;
+  int32_t slot = soa_.Allocate(id, links.data(), static_cast<int32_t>(links.size()));
+  size_t s = static_cast<size_t>(slot);
+  soa_.remaining[s] = bytes;
+  soa_.total_bytes[s] = bytes;
+  soa_.anchor_time[s] = now_;
+  soa_.meta[s].pinned_rate = pinned_rate;
+  soa_.start_time[s] = now_;
+  soa_.tag[s] = tag;
+  soa_.tag2[s] = tag2;
+
+  // Ids are assigned here and only here, so the dense id window extends by
+  // exactly one entry per start.
+  BDS_CHECK(id == id_base_ + static_cast<FlowId>(id_to_slot_.size()));
+  id_to_slot_.push_back(slot);
+  if (static_cast<size_t>(slot) >= slot_live_pos_.size()) {
+    slot_live_pos_.resize(static_cast<size_t>(soa_.capacity()), -1);
+  }
+  slot_live_pos_[s] = static_cast<int32_t>(live_slots_.size());
+  live_slots_.push_back(slot);
+
+  if (in_batch_) {
+    pending_adds_.push_back(slot);
+    ++batch_adds_;
+  } else {
+    incidence_.Add(soa_, slot);
+    for (size_t i = 0; i < links.size(); ++i) {
+      MarkDirty(links[i]);
+    }
   }
   BDS_TELEMETRY_COUNT("sim.flows_started", 1);
   telemetry::TraceInstant("sim.flow.start", "simulator",
                           {{"flow", static_cast<double>(id)},
                            {"bytes", bytes},
-                           {"links", static_cast<double>(raw->links.size())}});
+                           {"links", static_cast<double>(links.size())}});
   return id;
 }
 
 Status NetworkSimulator::RepinFlow(FlowId id, Rate pinned_rate) {
-  auto it = index_.find(id);
-  if (it == index_.end()) {
+  if (!pending_adds_.empty()) {
+    FlushBatchAdds();  // Keep batched submission order identical to unbatched.
+  }
+  int32_t slot = SlotOf(id);
+  if (slot < 0) {
     return NotFoundError("RepinFlow: no such active flow");
   }
   if (pinned_rate < 0.0) {
     return InvalidArgumentError("RepinFlow: negative rate");
   }
-  Flow* f = active_[it->second].get();
-  f->pinned_rate = pinned_rate;
-  for (LinkId l : f->links) {
-    MarkDirty(l);
+  soa_.meta[static_cast<size_t>(slot)].pinned_rate = pinned_rate;
+  const LinkId* links = soa_.links(slot);
+  int32_t n = soa_.num_links(slot);
+  for (int32_t i = 0; i < n; ++i) {
+    MarkDirty(links[i]);
   }
   return Status::Ok();
 }
 
 StatusOr<Bytes> NetworkSimulator::CancelFlow(FlowId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) {
+  if (!pending_adds_.empty()) {
+    FlushBatchAdds();  // The cancelled flow may itself be a deferred add.
+  }
+  int32_t slot = SlotOf(id);
+  if (slot < 0) {
     return NotFoundError("CancelFlow: no such active flow");
   }
-  size_t pos = it->second;
-  Flow* f = active_[pos].get();
-  Bytes delivered = f->total_bytes - f->RemainingAt(now_);
-  DetachFlow(f);
-  EraseFromActive(pos);
+  size_t s = static_cast<size_t>(slot);
+  Bytes left = soa_.remaining[s] - soa_.current_rate[s] * (now_ - soa_.anchor_time[s]);
+  if (left < 0.0) {
+    left = 0.0;
+  }
+  Bytes delivered = soa_.total_bytes[s] - left;
+  DetachFlow(slot);
+  EraseFlow(slot);
   return delivered;
 }
 
-const Flow* NetworkSimulator::FindFlow(FlowId id) const {
-  auto it = index_.find(id);
-  if (it == index_.end()) {
-    return nullptr;
+std::optional<FlowView> NetworkSimulator::FindFlow(FlowId id) const {
+  int32_t slot = SlotOf(id);
+  if (slot < 0) {
+    return std::nullopt;
   }
-  return active_[it->second].get();
+  size_t s = static_cast<size_t>(slot);
+  FlowView v;
+  v.id = id;
+  v.total_bytes = soa_.total_bytes[s];
+  v.remaining = soa_.remaining[s];
+  v.anchor_time = soa_.anchor_time[s];
+  v.pinned_rate = soa_.meta[s].pinned_rate;
+  v.current_rate = soa_.current_rate[s];
+  v.start_time = soa_.start_time[s];
+  v.tag = soa_.tag[s];
+  v.tag2 = soa_.tag2[s];
+  v.links = soa_.links(slot);
+  v.num_links = soa_.num_links(slot);
+  return v;
 }
 
 Status NetworkSimulator::SetBackgroundRate(LinkId link, Rate rate) {
@@ -167,11 +302,12 @@ double NetworkSimulator::LinkFaultFactor(LinkId link) const {
 
 std::vector<FlowId> NetworkSimulator::FlowsCrossingLink(LinkId link) const {
   BDS_CHECK(link >= 0 && link < topo_->num_links());
+  BDS_CHECK(pending_adds_.empty());  // Batched starts are not indexed yet.
   std::vector<FlowId> out;
   const auto& row = incidence_.at(link);
   out.reserve(row.size());
   for (const LinkFlowEntry& e : row) {
-    out.push_back(e.flow->id);
+    out.push_back(soa_.meta[static_cast<size_t>(e.slot)].id);
   }
   std::sort(out.begin(), out.end());  // Row order changes with swap-erase.
   return out;
@@ -203,67 +339,229 @@ void NetworkSimulator::IntegrateLink(LinkId link) {
   link_integrated_at_[li] = now_;
 }
 
-void NetworkSimulator::DetachFlow(Flow* f) {
-  for (LinkId l : f->links) {
-    IntegrateLink(l);
-    link_rate_[static_cast<size_t>(l)] -= f->current_rate;
-    MarkDirty(l);
+void NetworkSimulator::DetachFlow(int32_t slot) {
+  size_t s = static_cast<size_t>(slot);
+  const LinkId* links = soa_.links(slot);
+  int32_t n = soa_.num_links(slot);
+  Rate rate = soa_.current_rate[s];
+  for (int32_t i = 0; i < n; ++i) {
+    IntegrateLink(links[i]);
+    link_rate_[static_cast<size_t>(links[i])] -= rate;
+    MarkDirty(links[i]);
   }
-  incidence_.Remove(f);
+  incidence_.Remove(soa_, slot);
   // Snap drained links to exactly zero so incremental -= drift can't leak
   // into byte integration or MaxCapacityViolation.
-  for (LinkId l : f->links) {
-    if (incidence_.at(l).empty()) {
-      link_rate_[static_cast<size_t>(l)] = 0.0;
+  for (int32_t i = 0; i < n; ++i) {
+    if (incidence_.at(links[i]).empty()) {
+      link_rate_[static_cast<size_t>(links[i])] = 0.0;
     }
   }
 }
 
-void NetworkSimulator::EraseFromActive(size_t pos) {
-  index_.erase(active_[pos]->id);
-  if (pos + 1 != active_.size()) {
-    std::swap(active_[pos], active_.back());
-    index_[active_[pos]->id] = pos;
+void NetworkSimulator::EraseFlow(int32_t slot) {
+  size_t s = static_cast<size_t>(slot);
+  FlowId id = soa_.meta[s].id;
+  id_to_slot_[static_cast<size_t>(id - id_base_)] = -1;
+  ++dead_ids_;
+  int32_t pos = slot_live_pos_[s];
+  int32_t last = live_slots_.back();
+  live_slots_[static_cast<size_t>(pos)] = last;
+  slot_live_pos_[static_cast<size_t>(last)] = pos;
+  live_slots_.pop_back();
+  slot_live_pos_[s] = -1;
+  soa_.Free(slot);
+  soa_.MaybeCompactArena();
+  MaybeCompactIdMap();
+}
+
+void NetworkSimulator::MaybeCompactIdMap() {
+  if (dead_ids_ < id_compact_at_) {
+    return;
   }
-  active_.pop_back();
+  // Slide the window past the leading tombstone run (ids below every active
+  // flow can never be queried again). If the oldest flow is still active the
+  // run is empty; back off until enough new tombstones accumulate.
+  size_t run = 0;
+  while (run < id_to_slot_.size() && id_to_slot_[run] < 0) {
+    ++run;
+  }
+  if (run > 0) {
+    id_to_slot_.erase(id_to_slot_.begin(), id_to_slot_.begin() + static_cast<int64_t>(run));
+    id_base_ += static_cast<FlowId>(run);
+    dead_ids_ -= static_cast<int64_t>(run);
+  }
+  id_compact_at_ = dead_ids_ + static_cast<int64_t>(id_to_slot_.size()) / 4 + 1024;
 }
 
 void NetworkSimulator::ReallocateComponent(LinkId seed) {
-  comp_flows_.clear();
-  if (!incidence_.GatherFrom(seed, &comp_flows_)) {
+  comp_slots_.clear();
+  if (!incidence_.GatherFrom(seed, soa_, &comp_slots_)) {
     return;
   }
+  const size_t n = comp_slots_.size();
   // Canonical order: AllocateSubset must see the same sequence no matter
-  // which seed found the component or how BFS traversed it.
-  std::sort(comp_flows_.begin(), comp_flows_.end(),
-            [](const Flow* a, const Flow* b) { return a->id < b->id; });
-  old_rates_.resize(comp_flows_.size());
-  for (size_t i = 0; i < comp_flows_.size(); ++i) {
-    old_rates_[i] = comp_flows_[i]->current_rate;
+  // which seed found the component or how BFS traversed it. The canonical
+  // order is ascending flow id, but after ReorderSlotsForLocality slot
+  // numbers usually ascend with ids inside a component — so order the 4-byte
+  // slots first and only fall back to the 16-byte (id, slot) pair sort when
+  // a scan shows slot order disagreeing with id order (slot reuse after
+  // churn, or components spanning reorder groups). The fallback depends only
+  // on the component's membership, so both lockstep modes take the same
+  // branch and the solve sequence stays bit-identical.
+  //
+  // Ascending-slot ordering itself exploits the reordered layout too: a
+  // component's slots occupy a dense window, so a presence-byte scan over
+  // [lo, hi] replaces the comparison sort with two linear passes. When the
+  // window is sparse (no reorder yet, heavy churn) an O(n log n) sort is
+  // cheaper than scanning the window; either branch emits the same ascending
+  // sequence, so the choice cannot affect results.
+  {
+    int32_t lo = comp_slots_[0];
+    int32_t hi = lo;
+    for (size_t i = 1; i < n; ++i) {
+      int32_t s = comp_slots_[i];
+      lo = s < lo ? s : lo;
+      hi = s > hi ? s : hi;
+    }
+    const size_t range = static_cast<size_t>(hi - lo) + 1;
+    if (range <= 8 * n) {
+      slot_present_.assign(range, 0);
+      for (size_t i = 0; i < n; ++i) {
+        slot_present_[static_cast<size_t>(comp_slots_[i] - lo)] = 1;
+      }
+      size_t w = 0;
+      for (size_t i = 0; i < range; ++i) {
+        comp_slots_[w] = lo + static_cast<int32_t>(i);
+        w += slot_present_[i];
+      }
+    } else {
+      std::sort(comp_slots_.begin(), comp_slots_.end());
+    }
   }
-  allocator_.AllocateSubset(usable_capacity_, comp_flows_);
+  bool slot_order_is_id_order = true;
+  {
+    FlowId prev = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (i + 8 < n) {
+        __builtin_prefetch(&soa_.meta[static_cast<size_t>(comp_slots_[i + 8])]);
+      }
+      FlowId id = soa_.meta[static_cast<size_t>(comp_slots_[i])].id;
+      if (id < prev) {
+        slot_order_is_id_order = false;
+        break;
+      }
+      prev = id;
+    }
+  }
+  if (!slot_order_is_id_order) {
+    comp_ids_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      comp_ids_[i] = {soa_.meta[static_cast<size_t>(comp_slots_[i])].id, comp_slots_[i]};
+    }
+    std::sort(comp_ids_.begin(), comp_ids_.end());
+    for (size_t i = 0; i < n; ++i) {
+      comp_slots_[i] = comp_ids_[i].second;
+    }
+  }
+  // One scattered pass gathers every input the solve and epilogue need; the
+  // rest of this function works on the contiguous copies.
+  comp_off_.clear();
+  comp_links_.clear();
+  comp_pinned_.resize(n);
+  comp_rate_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Each iteration reads ~5 scattered lines of a slot; issue the loads a
+    // few flows ahead so the misses overlap (rate_epoch with a write hint —
+    // the epilogue bumps it for every changed rate). current_rate/remaining/
+    // anchor_time are read later by the epilogue and argmin passes; pulling
+    // them here keeps those passes on hot lines without mirror copies.
+    if (i + 4 < n) {
+      size_t pf = static_cast<size_t>(comp_slots_[i + 4]);
+      __builtin_prefetch(&soa_.current_rate[pf]);
+      __builtin_prefetch(&soa_.remaining[pf]);
+      __builtin_prefetch(&soa_.anchor_time[pf]);
+      __builtin_prefetch(&soa_.rate_epoch[pf], 1);
+    }
+    if (i + 2 < n) {
+      const PathRef& pr = soa_.meta[static_cast<size_t>(comp_slots_[i + 2])].path;
+      __builtin_prefetch(&soa_.path_links[static_cast<size_t>(pr.begin)]);
+    }
+    size_t s = static_cast<size_t>(comp_slots_[i]);
+    const FlowMeta& m = soa_.meta[s];
+    comp_off_.push_back(static_cast<int32_t>(comp_links_.size()));
+    const LinkId* links = soa_.path_links.data() + m.path.begin;
+    // Paths are a handful of links; a plain loop beats insert's memmove call.
+    for (int32_t j = 0; j < m.path.len; ++j) {
+      comp_links_.push_back(links[j]);
+    }
+    comp_pinned_[i] = m.pinned_rate;
+  }
+  comp_off_.push_back(static_cast<int32_t>(comp_links_.size()));
+  allocator_.AllocateSubset(usable_capacity_, n, comp_off_.data(), comp_links_.data(),
+                            comp_pinned_.data(), comp_rate_.data());
   ++num_reallocations_;
   BDS_TELEMETRY_COUNT("sim.component_solves", 1);
-  BDS_TELEMETRY_HISTOGRAM("sim.component_flows", 0.0, 1024.0, 64,
-                          static_cast<double>(comp_flows_.size()));
-  for (size_t i = 0; i < comp_flows_.size(); ++i) {
-    Flow* f = comp_flows_[i];
-    Rate new_rate = f->current_rate;
-    if (new_rate == old_rates_[i]) {
+  BDS_TELEMETRY_HISTOGRAM("sim.component_flows", 0.0, 1024.0, 64, static_cast<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    size_t s = static_cast<size_t>(comp_slots_[i]);
+    Rate new_rate = comp_rate_[i];
+    Rate old_rate = soa_.current_rate[s];
+    if (new_rate == old_rate) {
       continue;  // Bitwise unchanged: anchor, epoch, and heap entry stay valid.
     }
-    Bytes left = f->remaining - old_rates_[i] * (now_ - f->anchor_time);
-    f->remaining = left > 0.0 ? left : 0.0;
-    f->anchor_time = now_;
-    ++f->rate_epoch;
-    for (LinkId l : f->links) {
-      IntegrateLink(l);
-      link_rate_[static_cast<size_t>(l)] += new_rate - old_rates_[i];
+    Bytes left = soa_.remaining[s] - old_rate * (now_ - soa_.anchor_time[s]);
+    soa_.remaining[s] = left > 0.0 ? left : 0.0;
+    soa_.anchor_time[s] = now_;
+    soa_.current_rate[s] = new_rate;
+    ++soa_.rate_epoch[s];
+    for (int32_t j = comp_off_[i]; j < comp_off_[i + 1]; ++j) {
+      IntegrateLink(comp_links_[static_cast<size_t>(j)]);
+      link_rate_[static_cast<size_t>(comp_links_[static_cast<size_t>(j)])] +=
+          new_rate - old_rate;
     }
-    if (!full_realloc_ && new_rate > 0.0) {
-      heap_.push_back(CompletionEntry{CompletionKey(*f), f->id, f->rate_epoch});
-      std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  }
+  if (full_realloc_) {
+    return;
+  }
+  // Push heap entries only for the component's earliest projected
+  // completion(s). Between solves no member's key changes, and any event that
+  // could surface a later member (the argmin completing, a cancel, a repin, a
+  // join) dirties the component and re-solves it first — so entries for
+  // non-argmin members would be invalidated before ever reaching the heap
+  // top. Pushing ~1 entry per solve instead of one per changed rate keeps the
+  // heap at ~#components entries rather than #flows x churn.
+  // heap_epoch == rate_epoch means the slot's current-epoch entry (same key,
+  // pushed by an earlier solve) is still in the heap; pushing again would
+  // complete the flow twice in one batch.
+  comp_keys_.resize(n);
+  SimTime best = kTimeInfinity;
+  for (size_t i = 0; i < n; ++i) {
+    // Same bits as CompletionKeyAt: the epilogue above already scattered any
+    // rate change back, so the slot columns are current (and still hot).
+    size_t s = static_cast<size_t>(comp_slots_[i]);
+    comp_keys_[i] = comp_rate_[i] > 0.0
+                        ? soa_.anchor_time[s] + soa_.remaining[s] / comp_rate_[i]
+                        : kTimeInfinity;
+    if (comp_keys_[i] < best) {
+      best = comp_keys_[i];
     }
+  }
+  if (best == kTimeInfinity) {
+    return;  // No member has a positive rate.
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (comp_keys_[i] != best) {
+      continue;
+    }
+    int32_t slot = comp_slots_[i];
+    size_t s = static_cast<size_t>(slot);
+    if (soa_.heap_epoch[s] == soa_.rate_epoch[s]) {
+      continue;
+    }
+    soa_.heap_epoch[s] = soa_.rate_epoch[s];
+    heap_.push_back(CompletionEntry{best, soa_.meta[s].id, slot, soa_.rate_epoch[s]});
+    std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   }
 }
 
@@ -271,7 +569,7 @@ void NetworkSimulator::Reallocate() {
   incidence_.BeginEpoch();
   telemetry::TraceInstant("sim.reallocate", "simulator",
                           {{"dirty_links", static_cast<double>(dirty_links_.size())},
-                           {"active_flows", static_cast<double>(active_.size())}});
+                           {"active_flows", static_cast<double>(soa_.num_live())}});
   BDS_TELEMETRY_COUNT("sim.reallocations", 1);
   BDS_TELEMETRY_COUNT("sim.dirty_links", static_cast<int64_t>(dirty_links_.size()));
   if (full_realloc_) {
@@ -290,7 +588,8 @@ void NetworkSimulator::Reallocate() {
   }
   dirty_links_.clear();
   rates_dirty_ = false;
-  if (!full_realloc_ && heap_.size() > 1024 && heap_.size() > 8 * (active_.size() + 1)) {
+  if (!full_realloc_ && heap_.size() > 1024 &&
+      heap_.size() > 8 * (static_cast<size_t>(soa_.num_live()) + 1)) {
     CompactHeap();
   }
   SampleTrackedLinks();
@@ -299,8 +598,7 @@ void NetworkSimulator::Reallocate() {
 void NetworkSimulator::CompactHeap() {
   size_t w = 0;
   for (const CompletionEntry& e : heap_) {
-    auto it = index_.find(e.id);
-    if (it == index_.end() || active_[it->second]->rate_epoch != e.epoch) {
+    if (!ValidEntry(e)) {
       continue;
     }
     heap_[w++] = e;
@@ -312,8 +610,8 @@ void NetworkSimulator::CompactHeap() {
 SimTime NetworkSimulator::NextCompletionTime() {
   if (full_realloc_) {
     SimTime best = kTimeInfinity;
-    for (const auto& f : active_) {
-      SimTime k = CompletionKey(*f);
+    for (int32_t slot : live_slots_) {
+      SimTime k = CompletionKeyAt(slot);
       if (k < best) {
         best = k;
       }
@@ -322,8 +620,7 @@ SimTime NetworkSimulator::NextCompletionTime() {
   }
   while (!heap_.empty()) {
     const CompletionEntry& e = heap_.front();
-    auto it = index_.find(e.id);
-    if (it != index_.end() && active_[it->second]->rate_epoch == e.epoch) {
+    if (ValidEntry(e)) {
       return e.key;  // Valid top; leave it for CompleteBatch.
     }
     std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
@@ -333,51 +630,46 @@ SimTime NetworkSimulator::NextCompletionTime() {
 }
 
 void NetworkSimulator::CompleteBatch(SimTime t) {
-  batch_ids_.clear();
+  batch_.clear();
   if (full_realloc_) {
-    for (const auto& f : active_) {
-      if (CompletionKey(*f) == t) {
-        batch_ids_.push_back(f->id);
+    for (int32_t slot : live_slots_) {
+      if (CompletionKeyAt(slot) == t) {
+        batch_.emplace_back(soa_.meta[static_cast<size_t>(slot)].id, slot);
       }
     }
   } else {
-    // Every flow with a finite projected completion has exactly one
-    // current-epoch heap entry, so popping the key == t prefix (skipping
-    // stale entries) yields exactly the batch.
+    // Every flow completing at t is its component's argmin, so its last
+    // component solve pushed exactly one current-epoch entry for it; popping
+    // the key == t prefix (skipping stale entries) yields exactly the batch.
     while (!heap_.empty() && heap_.front().key <= t) {
       CompletionEntry e = heap_.front();
       std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
       heap_.pop_back();
-      auto it = index_.find(e.id);
-      if (it == index_.end() || active_[it->second]->rate_epoch != e.epoch) {
+      if (!ValidEntry(e)) {
         continue;
       }
       BDS_CHECK(e.key == t);  // A live completion earlier than now_ is a bug.
-      batch_ids_.push_back(e.id);
+      batch_.emplace_back(e.id, e.slot);
     }
   }
-  std::sort(batch_ids_.begin(), batch_ids_.end());
-  BDS_CHECK(!batch_ids_.empty());
+  std::sort(batch_.begin(), batch_.end());  // Ids are unique: sorts by id.
+  BDS_CHECK(!batch_.empty());
 
   size_t first_record = completed_.size();
-  for (FlowId id : batch_ids_) {
-    auto it = index_.find(id);
-    BDS_CHECK(it != index_.end());
-    size_t pos = it->second;
-    Flow* f = active_[pos].get();
-    f->remaining = 0.0;
-    f->anchor_time = t;
-    f->end_time = t;
+  for (const auto& [id, slot] : batch_) {
+    size_t s = static_cast<size_t>(slot);
+    soa_.remaining[s] = 0.0;
+    soa_.anchor_time[s] = t;
     completed_.push_back(
-        FlowRecord{f->id, f->total_bytes, f->start_time, f->end_time, f->tag, f->tag2});
-    DetachFlow(f);
-    EraseFromActive(pos);
+        FlowRecord{id, soa_.total_bytes[s], soa_.start_time[s], t, soa_.tag[s], soa_.tag2[s]});
+    DetachFlow(slot);
+    EraseFlow(slot);
   }
   ++num_events_;
   BDS_TELEMETRY_COUNT("sim.events", 1);
-  BDS_TELEMETRY_COUNT("sim.flows_completed", static_cast<int64_t>(batch_ids_.size()));
+  BDS_TELEMETRY_COUNT("sim.flows_completed", static_cast<int64_t>(batch_.size()));
   telemetry::TraceInstant("sim.complete_batch", "simulator",
-                          {{"flows", static_cast<double>(batch_ids_.size())},
+                          {{"flows", static_cast<double>(batch_.size())},
                            {"sim_time", t}});
 
   // Callbacks fire after the whole batch is detached, so callback-started
@@ -409,6 +701,7 @@ Status NetworkSimulator::AdvanceTo(SimTime t) {
   if (t < now_) {
     t = now_;  // Within the fluid tolerance: clamp instead of stepping back.
   }
+  CommitBatch();  // Advancing time ends any open churn batch.
   // Completion callbacks may start new flows, so the loop is bounded by a
   // generous safeguard rather than the initial flow count.
   constexpr int64_t kMaxEvents = 100'000'000;
@@ -428,7 +721,8 @@ Status NetworkSimulator::AdvanceTo(SimTime t) {
 }
 
 StatusOr<SimTime> NetworkSimulator::RunUntilIdle(SimTime deadline) {
-  while (!active_.empty()) {
+  CommitBatch();
+  while (soa_.num_live() > 0) {
     if (rates_dirty_) {
       Reallocate();
     }
@@ -470,12 +764,18 @@ double NetworkSimulator::LinkUtilization(LinkId link) const {
 
 void NetworkSimulator::TrackLinkUtilization(LinkId link) {
   BDS_CHECK(link >= 0 && link < topo_->num_links());
-  tracked_.emplace(link, TimeSeries("link" + std::to_string(link)));
+  auto it = std::lower_bound(tracked_.begin(), tracked_.end(), link,
+                             [](const auto& entry, LinkId l) { return entry.first < l; });
+  if (it != tracked_.end() && it->first == link) {
+    return;  // Already tracked.
+  }
+  tracked_.emplace(it, link, TimeSeries("link" + std::to_string(link)));
 }
 
 const TimeSeries* NetworkSimulator::LinkUtilizationSeries(LinkId link) const {
-  auto it = tracked_.find(link);
-  return it == tracked_.end() ? nullptr : &it->second;
+  auto it = std::lower_bound(tracked_.begin(), tracked_.end(), link,
+                             [](const auto& entry, LinkId l) { return entry.first < l; });
+  return it == tracked_.end() || it->first != link ? nullptr : &it->second;
 }
 
 void NetworkSimulator::SampleTrackedLinks() {

@@ -9,6 +9,12 @@
 //
 // Hot-path complexity (see DESIGN.md "Simulator performance"): each event
 // costs O(affected component + log F), not O(F), for F active flows:
+//   * active flows live in a struct-of-arrays pool (FlowSoA): hot scalars
+//     are parallel slot-indexed arrays and paths live in a shared CSR arena,
+//     so the waterfill and component gather scan contiguous memory;
+//   * flow ids map to slots through a dense sliding window (ids are
+//     sequential), not a hash map — completion-heap validation and FindFlow
+//     are array lookups;
 //   * a link->flow incidence index (LinkFlowIndex) finds the flows a change
 //     touches without scanning the active set;
 //   * reallocation is incremental — only the link-connected component(s) of
@@ -16,12 +22,18 @@
 //     untouched flows keep their rates, anchors, and projected completions;
 //   * per-flow progress is lazy: (anchor_time, remaining, current_rate)
 //     describe a flow between rate changes, so advancing time is O(1) per
-//     untouched flow (Flow::RemainingAt materializes on demand);
+//     untouched flow;
 //   * the next completion comes from a min-heap of projected completion
-//     times with lazy invalidation keyed on Flow::rate_epoch; completions
-//     sharing one event time are batched into a single reallocation;
+//     times with lazy invalidation keyed on the slot's rate_epoch (monotonic
+//     across slot reuse); completions sharing one event time are batched
+//     into a single reallocation;
 //   * per-link byte counters integrate rate * dt lazily at rate-change
-//     boundaries instead of per flow per event.
+//     boundaries instead of per flow per event;
+//   * BeginBatch/CommitBatch lets a controller cycle submit its churn as one
+//     transaction: flow starts defer incidence insertion and dirty marking
+//     until commit (identical insertion order, so results are bit-identical
+//     to per-flow submission), and the next time advance runs one
+//     reallocation pass over the union of dirty components.
 // set_full_reallocation(true) re-solves every component at every event and
 // scans instead of using the heap — the reference path the parity suite
 // (tests/simulator_incremental_parity_test.cc) checks bit-identical results
@@ -32,8 +44,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <unordered_map>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -41,6 +53,7 @@
 #include "src/common/types.h"
 #include "src/simulator/bandwidth_allocator.h"
 #include "src/simulator/flow.h"
+#include "src/simulator/flow_soa.h"
 #include "src/simulator/link_flow_index.h"
 #include "src/topology/topology.h"
 
@@ -64,11 +77,24 @@ class NetworkSimulator {
   // completion fires. Returns bytes that had been delivered.
   StatusOr<Bytes> CancelFlow(FlowId id);
 
-  // nullptr when the flow completed or never existed. Flow::remaining is as
-  // of Flow::anchor_time — use Flow::RemainingAt(now()) for live progress.
-  const Flow* FindFlow(FlowId id) const;
+  // nullopt when the flow completed or never existed. FlowView::remaining is
+  // as of anchor_time — use FlowView::RemainingAt(now()) for live progress.
+  // The view's `links` pointer is invalidated by the next churn.
+  std::optional<FlowView> FindFlow(FlowId id) const;
 
-  int num_active_flows() const { return static_cast<int>(active_.size()); }
+  int num_active_flows() const { return soa_.num_live(); }
+
+  // --- Batched churn. ---
+
+  // Opens a churn batch: until CommitBatch, StartFlow defers incidence
+  // insertion and dirty marking (flows are still visible to FindFlow and
+  // counted active). CancelFlow/RepinFlow inside a batch first flush the
+  // deferred starts, preserving the exact per-flow submission order, so a
+  // batched cycle is bit-identical to unbatched submission. Advancing time
+  // commits the open batch automatically.
+  void BeginBatch();
+  void CommitBatch();
+  bool in_batch() const { return in_batch_; }
 
   // --- Link faults (injected churn). ---
 
@@ -132,6 +158,8 @@ class NetworkSimulator {
   Rate LinkBulkRate(LinkId link) const;
 
   // Enables a per-link utilization time series (sampled at every event).
+  // Tracked links are kept sorted by LinkId, so sampling order (and thus any
+  // derived output) is deterministic regardless of registration order.
   void TrackLinkUtilization(LinkId link);
   const TimeSeries* LinkUtilizationSeries(LinkId link) const;
 
@@ -152,11 +180,12 @@ class NetworkSimulator {
   struct CompletionEntry {
     SimTime key = 0.0;  // Projected completion time when pushed.
     FlowId id = kInvalidFlow;
-    uint32_t epoch = 0;  // Flow::rate_epoch at push; stale when it moved on.
+    int32_t slot = -1;   // FlowSoA slot at push (validated against id).
+    uint32_t epoch = 0;  // Slot's rate_epoch at push; stale when it moved on.
   };
   struct EntryAfter {
     // Min-heap comparator; (key, id, epoch) is a strict total order, so pop
-    // order is independent of insertion order.
+    // order is independent of insertion order (slot is redundant with id).
     bool operator()(const CompletionEntry& a, const CompletionEntry& b) const {
       if (a.key != b.key) return a.key > b.key;
       if (a.id != b.id) return a.id > b.id;
@@ -164,15 +193,45 @@ class NetworkSimulator {
     }
   };
 
-  // Projected completion time of `f` (zero-crossing of remaining bytes);
-  // pure function of the flow's anchor state, so heap entries and scans
-  // compute identical bits.
-  static SimTime CompletionKey(const Flow& f) {
-    return f.current_rate > 0.0 ? f.anchor_time + f.remaining / f.current_rate
-                                : kTimeInfinity;
+  // Projected completion time of the flow in `slot` (zero-crossing of
+  // remaining bytes); pure function of the slot's anchor state, so heap
+  // entries and scans compute identical bits.
+  SimTime CompletionKeyAt(int32_t slot) const {
+    size_t s = static_cast<size_t>(slot);
+    return soa_.current_rate[s] > 0.0
+               ? soa_.anchor_time[s] + soa_.remaining[s] / soa_.current_rate[s]
+               : kTimeInfinity;
+  }
+
+  // -1 when the id is not an active flow. O(1): ids are sequential, so the
+  // map is a dense array over the [oldest active, newest] id window.
+  int32_t SlotOf(FlowId id) const {
+    if (id < id_base_ || id - id_base_ >= static_cast<FlowId>(id_to_slot_.size())) {
+      return -1;
+    }
+    return id_to_slot_[static_cast<size_t>(id - id_base_)];
+  }
+
+  // A heap entry is current iff its slot still holds the same flow at the
+  // same rate epoch (epochs are monotonic per slot and survive slot reuse,
+  // and ids are unique, so this cannot false-positive).
+  bool ValidEntry(const CompletionEntry& e) const {
+    size_t s = static_cast<size_t>(e.slot);
+    return soa_.live(e.slot) && soa_.meta[s].id == e.id && soa_.rate_epoch[s] == e.epoch;
   }
 
   void MarkDirty(LinkId link);
+  // Performs the deferred incidence insertions / dirty marking of flows
+  // started since BeginBatch, in submission order.
+  void FlushBatchAdds();
+  // Physically reorders the SoA pool so flows sharing a first link occupy
+  // adjacent slots (and compacts away freed slots), then remaps every
+  // slot-bearing structure (incidence rows, id map, live list, completion
+  // heap). Slot numbering is unobservable — solves are canonicalized by flow
+  // id — so results are bit-identical; only memory layout changes. Run after
+  // a bulk CommitBatch, where round-robin submission would otherwise leave
+  // each component's flows strided across the pool.
+  void ReorderSlotsForLocality();
   // Re-solves dirty components (all components in full mode), updating
   // anchors, epochs, per-link rates, and the completion heap for every flow
   // whose rate actually changed.
@@ -191,8 +250,11 @@ class NetworkSimulator {
   void CompactHeap();
   // Integrates + removes the flow's rate from its links, marks them dirty,
   // and drops the flow from the incidence index.
-  void DetachFlow(Flow* f);
-  void EraseFromActive(size_t pos);
+  void DetachFlow(int32_t slot);
+  // Releases the slot: id map tombstone, live-list swap-erase, pool free.
+  void EraseFlow(int32_t slot);
+  // Slides the id window forward once enough leading tombstones accumulate.
+  void MaybeCompactIdMap();
   void SampleTrackedLinks();
 
   const Topology* topo_;
@@ -203,14 +265,26 @@ class NetworkSimulator {
   SimTime now_ = 0.0;
   FlowId next_flow_id_ = 0;
 
-  std::vector<std::unique_ptr<Flow>> active_;
-  std::unordered_map<FlowId, size_t> index_;  // id -> position in active_.
-  std::vector<Rate> background_;              // Per link.
-  std::vector<double> fault_factor_;          // Per link, 1 = healthy.
-  std::vector<Rate> usable_capacity_;         // max(0, nominal*fault - background).
-  std::vector<Rate> link_rate_;               // Aggregate bulk rate per link.
-  std::vector<SimTime> link_integrated_at_;   // link_bytes_ valid up to here.
-  std::vector<Bytes> link_bytes_;             // Per link, cumulative.
+  FlowSoA soa_;                         // Active-flow pool.
+  std::vector<int32_t> live_slots_;     // Dense live-slot list (full-mode scans).
+  std::vector<int32_t> slot_live_pos_;  // slot -> index in live_slots_.
+  FlowId id_base_ = 0;                  // id_to_slot_[0] corresponds to this id.
+  std::vector<int32_t> id_to_slot_;     // -1 = completed/cancelled (tombstone).
+  int64_t dead_ids_ = 0;                // Tombstones currently in id_to_slot_.
+  int64_t id_compact_at_ = 1024;        // Next tombstone count to compact at.
+
+  bool in_batch_ = false;
+  std::vector<int32_t> pending_adds_;  // Slots started since BeginBatch.
+  int64_t batch_adds_ = 0;             // Starts in the current batch (survives
+                                       // mid-batch flushes, unlike pending_adds_).
+  std::vector<int32_t> old_to_new_;    // Reorder scratch.
+
+  std::vector<Rate> background_;             // Per link.
+  std::vector<double> fault_factor_;         // Per link, 1 = healthy.
+  std::vector<Rate> usable_capacity_;        // max(0, nominal*fault - background).
+  std::vector<Rate> link_rate_;              // Aggregate bulk rate per link.
+  std::vector<SimTime> link_integrated_at_;  // link_bytes_ valid up to here.
+  std::vector<Bytes> link_bytes_;            // Per link, cumulative.
   bool rates_dirty_ = true;
 
   std::vector<LinkId> dirty_links_;
@@ -219,9 +293,19 @@ class NetworkSimulator {
   std::vector<CompletionEntry> heap_;  // Min-heap via std::push/pop_heap.
 
   // Reallocation / completion scratch.
-  std::vector<Flow*> comp_flows_;
-  std::vector<Rate> old_rates_;
-  std::vector<FlowId> batch_ids_;
+  // Component-solve scratch: the component's slots are scattered across the
+  // pool, so ReallocateComponent gathers every per-flow input in one pass
+  // (in canonical id order) and runs the solve + epilogue on these
+  // contiguous copies, scattering back only what changed.
+  std::vector<int32_t> comp_slots_;                  // Canonical (id) order.
+  std::vector<std::pair<FlowId, int32_t>> comp_ids_;  // Sort scratch.
+  std::vector<uint8_t> slot_present_;  // Dense-window ordering scratch.
+  std::vector<int32_t> comp_off_;   // CSR offsets into comp_links_.
+  std::vector<LinkId> comp_links_;  // Concatenated component paths.
+  std::vector<Rate> comp_pinned_;
+  std::vector<Rate> comp_rate_;      // Solver output.
+  std::vector<SimTime> comp_keys_;  // Projected completions after the solve.
+  std::vector<std::pair<FlowId, int32_t>> batch_;  // (id, slot), sorted by id.
 
   int64_t num_reallocations_ = 0;
   int64_t num_events_ = 0;
@@ -230,7 +314,7 @@ class NetworkSimulator {
   std::vector<FlowRecord> completed_;
   int64_t completed_history_limit_ = -1;
   int64_t dropped_flow_records_ = 0;
-  std::unordered_map<LinkId, TimeSeries> tracked_;
+  std::vector<std::pair<LinkId, TimeSeries>> tracked_;  // Sorted by LinkId.
 };
 
 }  // namespace bds

@@ -20,16 +20,6 @@ DcId Topology::AddDatacenter(std::string name) {
   DcId id = static_cast<DcId>(dcs_.size());
   dcs_.push_back(Datacenter{id, std::move(name), {}});
   wan_out_.emplace_back();
-  // Grow the dense latency matrix, preserving existing entries.
-  std::vector<double> grown(static_cast<size_t>(num_dcs()) * num_dcs(), 0.0);
-  int old_n = num_dcs() - 1;
-  for (int a = 0; a < old_n; ++a) {
-    for (int b = 0; b < old_n; ++b) {
-      grown[static_cast<size_t>(a) * num_dcs() + b] =
-          dc_latency_[static_cast<size_t>(a) * old_n + b];
-    }
-  }
-  dc_latency_ = std::move(grown);
   return id;
 }
 
@@ -79,19 +69,21 @@ Status Topology::SetLinkCapacity(LinkId link, Rate capacity) {
   return Status::Ok();
 }
 
-size_t Topology::LatencyIndex(DcId a, DcId b) const {
-  return static_cast<size_t>(a) * num_dcs() + static_cast<size_t>(b);
+uint64_t Topology::LatencyKey(DcId a, DcId b) {
+  uint64_t lo = static_cast<uint64_t>(a < b ? a : b);
+  uint64_t hi = static_cast<uint64_t>(a < b ? b : a);
+  return (lo << 32) | hi;
 }
 
 void Topology::SetDcLatency(DcId a, DcId b, double seconds) {
   BDS_CHECK(ValidDc(a) && ValidDc(b) && seconds >= 0.0);
-  dc_latency_[LatencyIndex(a, b)] = seconds;
-  dc_latency_[LatencyIndex(b, a)] = seconds;
+  dc_latency_[LatencyKey(a, b)] = seconds;
 }
 
 double Topology::DcLatency(DcId a, DcId b) const {
   BDS_CHECK(ValidDc(a) && ValidDc(b));
-  return dc_latency_[LatencyIndex(a, b)];
+  auto it = dc_latency_.find(LatencyKey(a, b));
+  return it == dc_latency_.end() ? 0.0 : it->second;
 }
 
 const Datacenter& Topology::dc(DcId id) const {
