@@ -145,6 +145,10 @@ void WriteSweepJson(const std::vector<SweepPoint>& points, bool smoke,
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"telemetry_enabled\": %s,\n",
                bds::telemetry::Enabled() ? "true" : "false");
+  // This bench never exercises the controller's cross-cycle warm start;
+  // the stamp lets the regression gate assert the header matches its
+  // committed baseline.
+  std::fprintf(f, "  \"warm_start\": false,\n");
   std::fprintf(f, "  \"points\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];

@@ -30,9 +30,11 @@
 #ifndef BDS_SRC_LP_MCF_INTERNAL_H_
 #define BDS_SRC_LP_MCF_INTERNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "src/common/huge_alloc.h"
 #include "src/lp/mcf.h"
 
 namespace bds {
@@ -84,6 +86,9 @@ void FinalizeFptas(const FlatMcf& flat, double epsilon, double delta,
 // CSR layout, per-path bottlenecks/factors, structured-shape detection and
 // padded fast rows). Pure function of (flat, epsilon); read-only during the
 // loop, so one workspace serves any number of concurrent per-shard loops.
+// The CSR buffers are HugeVectors: at the fleet scale the push loop streams
+// them every phase, and transparent hugepages cut the TLB pressure; on
+// kernels without anon THP the allocator falls back silently.
 struct FptasWorkspace {
   FptasWorkspace(const FlatMcf& flat, double epsilon);
 
@@ -91,25 +96,25 @@ struct FptasWorkspace {
   size_t num_paths = 0;
   size_t num_commodities = 0;
   // CSR: path i's links at path_links[path_off[i] .. path_off[i+1]).
-  std::vector<int32_t> path_off;
-  std::vector<int32_t> path_links;
-  std::vector<double> path_factor;  // Per-link length multiplier of a push.
-  std::vector<double> path_bneck;   // Static bottleneck capacity per path.
+  HugeVector<int32_t> path_off;
+  HugeVector<int32_t> path_links;
+  HugeVector<double> path_factor;  // Per-link length multiplier of a push.
+  HugeVector<double> path_bneck;   // Static bottleneck capacity per path.
   // CSR: commodity c's path ids at cp_ids[cp_off[c] .. cp_off[c+1]).
-  std::vector<int32_t> cp_off;
-  std::vector<int32_t> cp_ids;
+  HugeVector<int32_t> cp_off;
+  HugeVector<int32_t> cp_ids;
   // Structured-shape tables (shared first/penultimate/last links; see
   // SolveMcfFptas's commentary).
-  std::vector<int32_t> com_first;
-  std::vector<int32_t> com_penult;
-  std::vector<int32_t> com_last;
-  std::vector<uint8_t> com_kind;  // kGeneric/kStructured/kFast3/kFast1.
-  std::vector<int32_t> mid_off;
-  std::vector<int32_t> mid_links;
-  std::vector<int32_t> fm_base;
-  std::vector<int32_t> fast_mids;
-  std::vector<int32_t> push5_ids;
-  std::vector<double> push5_fac;
+  HugeVector<int32_t> com_first;
+  HugeVector<int32_t> com_penult;
+  HugeVector<int32_t> com_last;
+  HugeVector<uint8_t> com_kind;  // kGeneric/kStructured/kFast3/kFast1.
+  HugeVector<int32_t> mid_off;
+  HugeVector<int32_t> mid_links;
+  HugeVector<int32_t> fm_base;
+  HugeVector<int32_t> fast_mids;
+  HugeVector<int32_t> push5_ids;
+  HugeVector<double> push5_fac;
 
   static constexpr uint8_t kGeneric = 0, kStructured = 1, kFast3 = 2, kFast1 = 3;
 };
@@ -120,6 +125,56 @@ struct FptasLoopStats {
   int64_t bound_skips = 0;
   int64_t commodities_retired = 0;
 };
+
+// Optional controls for RunFptasPushLoop. Defaults reproduce the classic
+// cold loop exactly; warm starts and the sharded solver's cross-group push
+// accounting hook in here.
+struct FptasLoopControl {
+  // Alpha-ladder entry point. <= 0 starts cold at delta * flat.max_len; a
+  // warm start passes a grid-aligned value (delta * max_len * (1+eps)^k)
+  // computed by SeedFptasWarmState so every skipped phase is provably a
+  // no-op under the seeded lengths.
+  double alpha_start = -1.0;
+  // Per-GLOBAL-commodity-id seed for the loop's cached minima (must
+  // lower-bound — or equal — the commodity's current cheapest path length
+  // under the caller's `length`). nullptr: cold init to 0.0, which forces a
+  // first fresh scan per commodity.
+  const std::vector<double>* cached_min_seed = nullptr;
+  // Cross-group advisory push budget (sharded solver): every ~1024 pushes
+  // the loop adds its delta to `shared_pushes`; once the shared total
+  // reaches `shared_max_pushes` the loop cuts off exactly like its own
+  // max_pushes cap. Purely an early-abort for runs the sharded solver will
+  // discard and redo serially (the wedge path) — it can only fire when the
+  // deterministic wedge predicate is already guaranteed true, so results
+  // never depend on its timing. nullptr disables.
+  std::atomic<int64_t>* shared_pushes = nullptr;
+  int64_t shared_max_pushes = 0;
+};
+
+// Seeded multiplicative-weights state reconstructed from a previous solve's
+// finalized flows (see SeedFptasWarmState).
+struct FptasWarmState {
+  std::vector<double> length;      // num_edges + 1 (sentinel pinned to 0.0).
+  std::vector<double> raw_flow;    // num_paths, pre-scale units.
+  std::vector<double> cached_min;  // Per-commodity min path length at seed.
+  double alpha_start = -1.0;
+  int64_t seeded_commodities = 0;
+  int64_t phases_skipped = 0;
+};
+
+// Builds the warm-start state for a solve of `instance`: per-path raw flow
+// re-scaled from the finalized seed (clamped per commodity to the CURRENT
+// demand), edge lengths reconstructed consistently from that raw flow
+// (length[e] = delta/cap[e] * exp(sum_i (raw_i/bneck_i) * ln(factor_i,e)) —
+// exactly the length a push sequence totalling raw would have produced,
+// demand edges included uniformly), per-commodity cached minima equal to the
+// seeded fresh-scan results, and the furthest alpha-ladder entry whose
+// skipped phases provably push nothing (alpha advanced by iterated
+// (1+eps) multiplication, mirroring the loop's own ladder bit for bit).
+// Pure function of its inputs — shard- and thread-count invariant.
+FptasWarmState SeedFptasWarmState(const McfInstance& instance, const FlatMcf& flat,
+                                  const FptasWorkspace& ws, double epsilon, double delta,
+                                  const McfWarmSeed& warm);
 
 // The tuned Fleischer phase loop over the commodities in `commodities`
 // (ascending global ids; commodities without paths are skipped). Reads and
@@ -133,13 +188,17 @@ struct FptasLoopStats {
 // link-disjoint from the complement's, the loop's pushes are bit-identical
 // to the corresponding pushes of the full run (the only state coupling
 // between commodities is shared link lengths). max_pushes is counted per
-// call, so a run that hits the cap — only a wedged run does — may diverge
-// from the global count's cut-off point; see DESIGN.md.
+// call; the sharded solver detects a wedged run (summed group pushes >=
+// the global budget) after the join and redoes it as one serial loop, so
+// wedged results match the unsharded solver exactly (see DESIGN.md §9.7).
+//
+// `control` may be null (cold loop, no shared budget); see FptasLoopControl.
 FptasLoopStats RunFptasPushLoop(const FlatMcf& flat, const FptasWorkspace& ws,
                                 double epsilon, double delta, int64_t max_pushes,
                                 const std::vector<int32_t>& commodities,
                                 std::vector<double>& length,
-                                std::vector<double>& raw_flow);
+                                std::vector<double>& raw_flow,
+                                const FptasLoopControl* control = nullptr);
 
 }  // namespace mcf_internal
 }  // namespace bds

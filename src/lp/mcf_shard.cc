@@ -3,6 +3,7 @@
 #include <ctime>
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <utility>
 #include <vector>
@@ -61,13 +62,17 @@ struct Group {
 
 McfResult SolveMcfFptasSharded(const McfInstance& instance, double epsilon,
                                const McfShardOptions& options, ParallelRunner* pool,
-                               McfShardStats* stats) {
+                               McfShardStats* stats, const McfWarmSeed* warm,
+                               McfWarmInfo* warm_info) {
   BDS_CHECK_MSG(epsilon > 0.0 && epsilon <= 0.5, "epsilon must be in (0, 0.5]");
   BDS_CHECK_MSG(options.num_shards >= 1, "num_shards must be >= 1");
   BDS_TIMED_SCOPE("fptas.sharded");
   McfShardStats local_stats;
   McfShardStats& st = stats != nullptr ? *stats : local_stats;
   st = McfShardStats{};
+  if (warm_info != nullptr) {
+    *warm_info = McfWarmInfo{};
+  }
 
   McfResult result = mcf_internal::MakeEmptyFptasResult(instance);
   const FlatMcf flat = mcf_internal::FlattenMcf(instance);
@@ -221,8 +226,37 @@ McfResult SolveMcfFptasSharded(const McfInstance& instance, double epsilon,
   // instance, so every group walks the same delta / alpha ladder / factor
   // tables the unsharded solver would.
   const double delta = mcf_internal::FptasDelta(flat, epsilon);
-  const int64_t max_pushes = mcf_internal::MaxPushes(flat, epsilon, delta);
+  const int64_t max_pushes = options.max_pushes_override > 0
+                                 ? options.max_pushes_override
+                                 : mcf_internal::MaxPushes(flat, epsilon, delta);
   const FptasWorkspace ws(flat, epsilon);
+
+  // Warm start: seed raw flow / lengths / cached minima / the alpha-ladder
+  // entry ONCE from the global instance. Every group starts from a private
+  // copy of the seeded length vector, so (without split_contended) the warm
+  // result stays bitwise-invariant to the shard count.
+  const bool use_warm = warm != nullptr && !warm->empty();
+  mcf_internal::FptasWarmState wstate;
+  if (use_warm) {
+    wstate = mcf_internal::SeedFptasWarmState(instance, flat, ws, epsilon, delta, *warm);
+    st.seeded_commodities = wstate.seeded_commodities;
+    st.phases_skipped = wstate.phases_skipped;
+    if (warm_info != nullptr) {
+      warm_info->used = wstate.seeded_commodities > 0;
+      warm_info->seeded_commodities = wstate.seeded_commodities;
+      warm_info->phases_skipped = wstate.phases_skipped;
+    }
+  }
+  auto init_length = [&](std::vector<double>& length) {
+    if (use_warm) {
+      length = wstate.length;
+      return;
+    }
+    length.assign(ws.num_edges + 1, 0.0);
+    for (size_t l = 0; l < ws.num_edges; ++l) {
+      length[l] = delta / flat.cap[l];
+    }
+  };
 
   std::vector<double> raw_flow(ws.num_paths, 0.0);
   std::vector<mcf_internal::FptasLoopStats> group_stats(groups.size());
@@ -236,6 +270,13 @@ McfResult SolveMcfFptasSharded(const McfInstance& instance, double epsilon,
   }
   st.largest_group_paths = largest_paths;
 
+  // Cross-group advisory budget: once the groups' summed pushes reach the
+  // global cap the run is wedged (the deterministic predicate checked after
+  // the join below), its result will be discarded, and the remaining groups
+  // only burn CPU — so they may abort early. The abort can only fire when
+  // the predicate is already guaranteed true, so results never depend on its
+  // timing (see FptasLoopControl).
+  std::atomic<int64_t> shared_pushes{0};
   const double t_solve = ProcessCpuSeconds();
   auto solve_group = [&](size_t begin, size_t end) {
     for (size_t g = begin; g < end; ++g) {
@@ -244,12 +285,20 @@ McfResult SolveMcfFptasSharded(const McfInstance& instance, double epsilon,
       // group's commodities are link-disjoint from every other group's (in
       // parity mode), the entries it reads evolve identically to the global
       // run's.
-      std::vector<double> length(ws.num_edges + 1, 0.0);
-      for (size_t l = 0; l < ws.num_edges; ++l) {
-        length[l] = delta / flat.cap[l];
+      std::vector<double> length;
+      init_length(length);
+      mcf_internal::FptasLoopControl control;
+      if (use_warm) {
+        control.alpha_start = wstate.alpha_start;
+        control.cached_min_seed = &wstate.cached_min;
       }
-      group_stats[g] = mcf_internal::RunFptasPushLoop(
-          flat, ws, epsilon, delta, max_pushes, groups[g].commodities, length, raw_flow);
+      if (groups.size() > 1) {
+        control.shared_pushes = &shared_pushes;
+        control.shared_max_pushes = max_pushes;
+      }
+      group_stats[g] = mcf_internal::RunFptasPushLoop(flat, ws, epsilon, delta, max_pushes,
+                                                      groups[g].commodities, length, raw_flow,
+                                                      &control);
     }
   };
   if (pool != nullptr && pool->num_threads() > 1 && groups.size() > 1) {
@@ -261,12 +310,40 @@ McfResult SolveMcfFptasSharded(const McfInstance& instance, double epsilon,
   } else {
     solve_group(0, groups.size());
   }
-  const double t_merge = ProcessCpuSeconds();
-  st.solve_seconds = t_merge - t_solve;
 
   for (const mcf_internal::FptasLoopStats& gs : group_stats) {
     st.pushes += gs.pushes;
   }
+
+  // Wedge re-run: the per-group budget is counted per call, so a multi-group
+  // run whose SUMMED pushes reach the global cap may have cut off at
+  // different pushes than the unsharded loop would. Such runs are discarded
+  // and redone as one serial all-commodity loop — the exact unsharded
+  // (cold or warm) solve, bit for bit. Never taken outside adversarial
+  // inputs or a tiny max_pushes_override.
+  if (groups.size() > 1 && st.pushes >= max_pushes) {
+    st.wedge_rerun = true;
+    std::fill(raw_flow.begin(), raw_flow.end(), 0.0);
+    std::vector<int32_t> all_commodities;
+    all_commodities.reserve(num_commodities);
+    for (size_t c = 0; c < num_commodities; ++c) {
+      if (!flat.commodity_paths[c].empty()) {
+        all_commodities.push_back(static_cast<int32_t>(c));
+      }
+    }
+    std::vector<double> length;
+    init_length(length);
+    mcf_internal::FptasLoopControl control;
+    if (use_warm) {
+      control.alpha_start = wstate.alpha_start;
+      control.cached_min_seed = &wstate.cached_min;
+    }
+    const mcf_internal::FptasLoopStats rerun = mcf_internal::RunFptasPushLoop(
+        flat, ws, epsilon, delta, max_pushes, all_commodities, length, raw_flow, &control);
+    st.pushes = rerun.pushes;
+  }
+  const double t_merge = ProcessCpuSeconds();
+  st.solve_seconds = t_merge - t_solve;
 
   // The merge: one global finalize over the combined raw flow — rescale,
   // normalize by the worst edge utilization (per-link proportional budget
@@ -279,6 +356,14 @@ McfResult SolveMcfFptasSharded(const McfInstance& instance, double epsilon,
   BDS_TELEMETRY_COUNT("fptas.sharded.pushes", st.pushes);
   BDS_TELEMETRY_COUNT("fptas.sharded.groups", st.num_groups);
   BDS_TELEMETRY_COUNT("fptas.sharded.components", st.num_components);
+  if (st.wedge_rerun) {
+    BDS_TELEMETRY_COUNT("fptas.sharded.wedge_reruns", 1);
+  }
+  if (use_warm) {
+    BDS_TELEMETRY_COUNT("fptas.warm.solves", 1);
+    BDS_TELEMETRY_COUNT("fptas.warm.seeded_commodities", st.seeded_commodities);
+    BDS_TELEMETRY_COUNT("fptas.warm.phases_skipped", st.phases_skipped);
+  }
   telemetry::TraceInstant("fptas.sharded", "lp",
                           {{"groups", static_cast<double>(st.num_groups)},
                            {"components", static_cast<double>(st.num_components)},

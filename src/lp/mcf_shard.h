@@ -57,6 +57,9 @@ struct McfShardOptions {
   // instances. Deterministic but NOT bitwise-equal to the unsharded solver;
   // the merge normalization keeps the combined flow feasible.
   bool split_contended = false;
+  // Test seam: replaces the MaxPushes-derived push budget when > 0, forcing
+  // the wedge path on small instances. 0 = the real budget.
+  int64_t max_pushes_override = 0;
 };
 
 struct McfShardStats {
@@ -64,7 +67,13 @@ struct McfShardStats {
   int num_groups = 0;        // Groups actually solved (<= num_shards).
   int largest_group_paths = 0;
   bool split_mode_used = false;
-  int64_t pushes = 0;        // Summed over groups.
+  // The summed group pushes reached the global budget, so the sharded run
+  // was discarded and redone as one serial loop (bitwise equal to the
+  // unsharded solver's wedged run).
+  bool wedge_rerun = false;
+  int64_t pushes = 0;        // Summed over groups (final run if rerun).
+  int64_t seeded_commodities = 0;  // Warm start: commodities with a seed.
+  int64_t phases_skipped = 0;      // Warm start: alpha phases fast-forwarded.
   double solve_seconds = 0.0;  // CPU time in the per-group push loops.
   double merge_seconds = 0.0;  // CPU time in the global finalize/merge.
 };
@@ -72,9 +81,18 @@ struct McfShardStats {
 // Drop-in replacement for SolveMcfFptas(instance, epsilon): same result, bit
 // for bit, when options.split_contended is false (see file commentary).
 // `pool` may be null (serial). `stats` is optional.
+//
+// `warm` (optional) seeds every group's multiplicative-weights state from a
+// previous solve's finalized flows (see McfWarmSeed in mcf.h). The seed and
+// the alpha-ladder entry are computed ONCE from the global instance, so a
+// warm solve without split_contended remains bitwise-invariant to the shard
+// count — though not bitwise-equal to the cold solve (relaxed parity,
+// DESIGN.md §9.7).
 McfResult SolveMcfFptasSharded(const McfInstance& instance, double epsilon,
                                const McfShardOptions& options, ParallelRunner* pool,
-                               McfShardStats* stats = nullptr);
+                               McfShardStats* stats = nullptr,
+                               const McfWarmSeed* warm = nullptr,
+                               McfWarmInfo* warm_info = nullptr);
 
 }  // namespace bds
 

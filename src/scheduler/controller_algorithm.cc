@@ -50,8 +50,8 @@ ControllerAlgorithm::ControllerAlgorithm(const Topology* topo, const WanRoutingT
 }
 
 std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
-    const ReplicaState& state, const std::vector<Rate>& residual_capacities,
-    const DeliveryKeySet& in_flight) {
+    int64_t cycle, const ReplicaState& state, const std::vector<Rate>& residual_capacities,
+    const DeliveryKeySet& in_flight, CycleDecision& decision) {
   if (options_.schedule_all) {
     // Joint formulation: every outstanding delivery goes to the solver.
     std::vector<PendingDelivery> pending = state.PendingDeliveries();
@@ -126,20 +126,8 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
   // popped delivery's remaining fields (dest server, duplicate count) are
   // recomputed on demand for the few thousand candidates that actually get
   // popped, instead of for the possible millions that never leave the queue.
-  struct Candidate {
-    int eff_dup;
-    uint64_t salt;  // Deterministic pseudo-random tie-break.
-    uint64_t key;   // Packed (job_pos, block, dc_pos); pending order.
-    bool operator>(const Candidate& o) const {
-      if (eff_dup != o.eff_dup) {
-        return eff_dup > o.eff_dup;
-      }
-      if (salt != o.salt) {
-        return salt > o.salt;
-      }
-      return key > o.key;
-    }
-  };
+  // (The Candidate struct itself lives in the header so the cross-cycle
+  // cache can store slot arrays of it.)
   constexpr uint64_t kBlockMask = (uint64_t{1} << 42) - 1;
   auto pack_key = [](size_t jp, int64_t block, size_t dp) {
     return (static_cast<uint64_t>(jp) << 48) | (static_cast<uint64_t>(block) << 6) |
@@ -147,14 +135,21 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
   };
   BDS_CHECK_MSG(state.job_ids().size() < (size_t{1} << 16),
                 "ScheduleBlocks: too many concurrent jobs for packed keys");
+  // One hash lookup per job here buys O(1) per-pop access below: the pop
+  // loop reads duplicate counts and holder lists for hundreds of thousands
+  // of candidates per cycle, and per-pop jobs_ lookups dominated it.
+  std::vector<ReplicaState::JobCursor> cursors;
   std::vector<const MulticastJob*> jobs_by_pos;
+  cursors.reserve(state.job_ids().size());
   jobs_by_pos.reserve(state.job_ids().size());
-  for (JobId id : state.job_ids()) {
-    const MulticastJob* job = state.FindJob(id);
+  for (size_t jp = 0; jp < state.job_ids().size(); ++jp) {
+    cursors.push_back(state.CursorAt(jp));
+    const MulticastJob* job = &cursors.back().job();
     BDS_CHECK_MSG(job->num_blocks() <= static_cast<int64_t>(kBlockMask),
                   "ScheduleBlocks: job too large for packed keys");
     jobs_by_pos.push_back(job);  // dest_dcs fit 6 bits: at most 64 DCs total.
   }
+  const bool any_failed = state.AnyServerFailed();
   std::unordered_map<uint64_t, int> extra_dups;  // (job, block) -> copies scheduled now.
   auto block_key = [](JobId job, int64_t block) {
     return static_cast<uint64_t>(job) * 0x1000003 + static_cast<uint64_t>(block);
@@ -174,19 +169,195 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
   const SchedulingPolicy policy = options_.policy;
   const int num_shards = options_.num_shards;
   // The candidate build touches every pending delivery (up to 10^7 at the
-  // fleet scale). Two builders, byte-identical output:
-  //  * Unsharded: one streaming pass emits packed keys and duplicate counts
-  //    in discovery order; the salt hashes — the arithmetic bulk — are
-  //    either fused into the same pass (serial) or filled in by the pool
-  //    over pre-sized slots (thread-count-invariant). kSequential's salt is
-  //    the key itself: packed coordinates sort exactly like pending indices.
-  //  * Sharded (num_shards > 1): (job, block-chunk) units are priced with
-  //    CountOwedInRange (one popcount per block, in parallel), prefix-summed
-  //    into exact slots of the global array, and filled in parallel with
-  //    ForEachOwedInRange + fused salts. Slots reproduce ForEachOwed order
-  //    exactly, so the array — and everything downstream — is identical.
-  std::vector<Candidate> initial;
-  if (num_shards > 1) {
+  // fleet scale). Three builders, byte-identical output:
+  //  * Incremental (the default): the previous cycle's slot array is patched
+  //    — clean (job, 64-block chunk) units are memcpy'd with their packed
+  //    job position adjusted, and only units ReplicaState stamped dirty
+  //    since the last build are re-priced and re-filled. Amortized cost is
+  //    O(churn), not O(pending) (DESIGN.md §9.7).
+  //  * Unsharded from-scratch: one streaming pass emits packed keys and
+  //    duplicate counts in discovery order; the salt hashes — the
+  //    arithmetic bulk — are either fused into the same pass (serial) or
+  //    filled in by the pool over pre-sized slots (thread-count-invariant).
+  //    kSequential's salt is the key itself: packed coordinates sort exactly
+  //    like pending indices.
+  //  * Sharded from-scratch (num_shards > 1): (job, block-chunk) units are
+  //    priced with CountOwedInRange (one popcount per block, in parallel),
+  //    prefix-summed into exact slots of the global array, and filled in
+  //    parallel with ForEachOwedInRange + fused salts. Slots reproduce
+  //    ForEachOwed order exactly, so the array — and everything downstream —
+  //    is identical.
+  CandVec& initial = cand_work_;
+  initial.clear();
+  if (options_.incremental_candidates) {
+    CandidateCache& cache = cand_cache_;
+    // The cache may only be patched forward when it describes the previous
+    // cycle of this exact ReplicaState object under the same policy; any
+    // mismatch (fresh state copy, skipped cycle, explicit invalidation)
+    // degrades to an all-dirty build that refills it.
+    const bool warm = cache.valid && cache.state_uid == state.state_uid() &&
+                      cache.policy == policy && cycle == cache.last_cycle + 1;
+    constexpr int64_t kUnitBlocks = ReplicaState::kDirtyChunkBlocks;
+    // New unit list: one unit per (job, chunk), in ForEachOwed order.
+    std::vector<CandidateUnit> units;
+    {
+      size_t total_units = 0;
+      for (const MulticastJob* job : jobs_by_pos) {
+        total_units += static_cast<size_t>((job->num_blocks() + kUnitBlocks - 1) / kUnitBlocks);
+      }
+      units.reserve(total_units);
+    }
+    for (size_t jp = 0; jp < jobs_by_pos.size(); ++jp) {
+      const MulticastJob* job = jobs_by_pos[jp];
+      const int64_t nblocks = job->num_blocks();
+      for (int64_t b0 = 0; b0 < nblocks; b0 += kUnitBlocks) {
+        CandidateUnit u;
+        u.job = job->id;
+        u.b0 = b0;
+        u.jp = static_cast<uint32_t>(jp);
+        units.push_back(u);
+      }
+    }
+    // Old-unit lookup: a job's units are contiguous and chunk-aligned in
+    // both lists, so old unit = (job's first old unit) + chunk index. Job
+    // retirement only shifts positions — the fill pass patches the packed
+    // jp bit field of reused slots directly.
+    std::vector<int64_t> old_first(jobs_by_pos.size(), -1);
+    if (warm) {
+      std::unordered_map<JobId, int64_t> first_by_job;
+      first_by_job.reserve(jobs_by_pos.size() * 2);
+      for (size_t u = 0; u < cache.units.size(); ++u) {
+        if (u == 0 || cache.units[u].job != cache.units[u - 1].job) {
+          first_by_job.emplace(cache.units[u].job, static_cast<int64_t>(u));
+        }
+      }
+      for (size_t jp = 0; jp < jobs_by_pos.size(); ++jp) {
+        auto it = first_by_job.find(jobs_by_pos[jp]->id);
+        if (it != first_by_job.end()) {
+          old_first[jp] = it->second;
+        }
+      }
+    }
+    // Classify + price pass: clean units keep their cached count; dirty
+    // units are re-priced with one popcount per block.
+    const uint64_t seen = cache.seen_epoch;
+    std::vector<int64_t> unit_count(units.size(), 0);
+    std::vector<int64_t> unit_old(units.size(), -1);  // Old unit idx if clean.
+    pool_.For(units.size(), [&](size_t begin, size_t end) {
+      for (size_t u = begin; u < end; ++u) {
+        const CandidateUnit& cu = units[u];
+        const int64_t chunk = cu.b0 / kUnitBlocks;
+        if (warm && old_first[cu.jp] >= 0) {
+          const size_t oi = static_cast<size_t>(old_first[cu.jp] + chunk);
+          if (oi < cache.units.size() && cache.units[oi].job == cu.job &&
+              cache.units[oi].b0 == cu.b0 && state.ChunkVersion(cu.jp, chunk) <= seen) {
+            unit_count[u] = cache.units[oi].count;
+            unit_old[u] = static_cast<int64_t>(oi);
+            continue;
+          }
+        }
+        unit_count[u] = state.CountOwedInRange(cu.jp, cu.b0, cu.b0 + kUnitBlocks);
+      }
+    });
+    int64_t units_reused = 0, slots_reused = 0;
+    uint64_t total = 0;
+    for (size_t u = 0; u < units.size(); ++u) {
+      units[u].offset = total;
+      units[u].count = static_cast<uint32_t>(unit_count[u]);
+      total += static_cast<uint64_t>(unit_count[u]);
+      if (unit_old[u] >= 0) {
+        ++units_reused;
+        slots_reused += unit_count[u];
+      }
+    }
+    BDS_CHECK(total == static_cast<uint64_t>(state.num_pending()));
+    // Fill pass into the double buffer: clean units are copied from the old
+    // array with the packed jp field patched (kSequential's salt IS the
+    // key, so it is re-derived); dirty units stream ForEachOwedInRange with
+    // fused salts, exactly like the from-scratch builders.
+    CandVec& out = cache.scratch;
+    out.resize(static_cast<size_t>(total));
+    pool_.ForWeighted(unit_count, [&](size_t begin, size_t end) {
+      for (size_t u = begin; u < end; ++u) {
+        const CandidateUnit& cu = units[u];
+        if (unit_old[u] >= 0) {
+          const CandidateUnit& old = cache.units[static_cast<size_t>(unit_old[u])];
+          const Candidate* src = cache.slots.data() + old.offset;
+          Candidate* dst = out.data() + cu.offset;
+          std::copy(src, src + cu.count, dst);
+          if (old.jp != cu.jp) {
+            // Two's-complement delta: the jp field occupies the top 16 bits,
+            // and the low 48 bits are unchanged, so adding the (possibly
+            // negative) difference shifted into place never borrows across.
+            const uint64_t jp_delta =
+                (static_cast<uint64_t>(cu.jp) - static_cast<uint64_t>(old.jp)) << 48;
+            for (uint32_t i = 0; i < cu.count; ++i) {
+              dst[i].key += jp_delta;
+              if (policy == SchedulingPolicy::kSequential) {
+                dst[i].salt = dst[i].key;
+              }
+            }
+          }
+        } else {
+          size_t w = static_cast<size_t>(cu.offset);
+          state.ForEachOwedInRange(
+              cu.jp, cu.b0, cu.b0 + kUnitBlocks,
+              [&](size_t jp, const MulticastJob& job, int64_t block, size_t dp, DcId dc,
+                  int dups) {
+                const uint64_t key = pack_key(jp, block, dp);
+                out[w++] = Candidate{
+                    policy == SchedulingPolicy::kRarestFirst ? dups : 0,
+                    policy == SchedulingPolicy::kSequential ? key
+                                                            : candidate_salt(job.id, block, dc),
+                    key};
+              });
+          BDS_CHECK(w == static_cast<size_t>(cu.offset) + cu.count);
+        }
+      }
+    });
+    std::swap(cache.slots, cache.scratch);
+    cache.units = std::move(units);
+    cache.valid = true;
+    cache.state_uid = state.state_uid();
+    cache.seen_epoch = state.dirty_epoch();
+    cache.last_cycle = cycle;
+    cache.policy = policy;
+    if (options_.debug_verify_incremental) {
+      // From-scratch reference stream, compared slot by slot.
+      size_t idx = 0;
+      bool match = true;
+      state.ForEachOwed(
+          [&](size_t jp, const MulticastJob& job, int64_t block, size_t dp, DcId dc, int dups) {
+            const uint64_t key = pack_key(jp, block, dp);
+            const Candidate ref{
+                policy == SchedulingPolicy::kRarestFirst ? dups : 0,
+                policy == SchedulingPolicy::kSequential ? key : candidate_salt(job.id, block, dc),
+                key};
+            const Candidate& got = cache.slots[idx++];
+            if (got.eff_dup != ref.eff_dup || got.salt != ref.salt || got.key != ref.key) {
+              match = false;
+            }
+          });
+      BDS_CHECK_MSG(match && idx == static_cast<size_t>(total),
+                    "incremental candidate build diverged from the from-scratch reference");
+    }
+    // The selection loop permutes its array, so it works on a copy and the
+    // cache keeps the pristine slots for the next cycle's patch pass.
+    initial.resize(static_cast<size_t>(total));
+    pool_.For(initial.size(), [&](size_t begin, size_t end) {
+      std::copy(cache.slots.begin() + static_cast<ptrdiff_t>(begin),
+                cache.slots.begin() + static_cast<ptrdiff_t>(end),
+                initial.begin() + static_cast<ptrdiff_t>(begin));
+    });
+    decision.cand_units_reused = units_reused;
+    decision.cand_units_repriced = static_cast<int64_t>(cache.units.size()) - units_reused;
+    decision.cand_slots_reused = slots_reused;
+    decision.cand_slots_repriced = static_cast<int64_t>(total) - slots_reused;
+    BDS_TELEMETRY_COUNT("scheduler.cand_units_reused", decision.cand_units_reused);
+    BDS_TELEMETRY_COUNT("scheduler.cand_units_repriced", decision.cand_units_repriced);
+    BDS_TELEMETRY_COUNT("scheduler.cand_slots_reused", decision.cand_slots_reused);
+    BDS_TELEMETRY_COUNT("scheduler.cand_slots_repriced", decision.cand_slots_repriced);
+  } else if (num_shards > 1) {
     struct BuildUnit {
       size_t jp = 0;
       int64_t b0 = 0, b1 = 0;
@@ -284,14 +455,22 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     size_t run_pos = 0, run_end = 0;  // Chunked: sorted run.
     size_t tail = 0;                  // Chunked: unsorted remainder start.
     size_t heap_end = 0;              // Heap mode: min-heap over [begin, heap_end).
+    size_t chunk = kChunk;            // Chunked: next carve size (doubles).
   };
-  std::vector<Candidate> cands;
+  CandVec& cands = cand_work_;  // Alias: the build above filled it in place.
   std::vector<ShardQueue> shards;
-  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>> side;
+  std::priority_queue<Candidate, CandVec, std::greater<Candidate>> side;
   // Legacy K == 1 heap mode keeps the single priority_queue path untouched.
   const bool shard_queues = chunked || num_shards > 1;
   auto carve = [&](ShardQueue& sh) {  // Pre: sh.tail < sh.end.
-    const size_t k = std::min(kChunk, sh.end - sh.tail);
+    const size_t k = std::min(sh.chunk, sh.end - sh.tail);
+    // Each re-carve pays an nth_element pass over the shard's whole
+    // unsorted tail, so the carve size doubles every time a shard's run is
+    // exhausted: deep-popping cycles (fleet scale pops hundreds of
+    // thousands) amortize to O(log) tail passes instead of one per kChunk.
+    // Pop order is unaffected — every tail element is >= every carved
+    // element regardless of where the carve boundary lands.
+    sh.chunk *= 2;
     auto begin = cands.begin() + static_cast<ptrdiff_t>(sh.tail);
     auto shard_end = cands.begin() + static_cast<ptrdiff_t>(sh.end);
     std::nth_element(begin, begin + static_cast<ptrdiff_t>(k) - 1, shard_end, cand_less);
@@ -301,7 +480,6 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     sh.tail = sh.run_end;
   };
   if (shard_queues) {
-    cands = std::move(initial);
     const size_t n = cands.size();
     const size_t S = static_cast<size_t>(num_shards);
     shards.resize(S);
@@ -329,8 +507,10 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
       });
     }
   } else {
-    side = std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>>(
-        std::greater<Candidate>{}, std::move(initial));
+    // Heap mode takes ownership of the working array; the next cycle's
+    // build simply re-grows the moved-from member.
+    side = std::priority_queue<Candidate, CandVec, std::greater<Candidate>>(
+        std::greater<Candidate>{}, std::move(cand_work_));
   }
   auto queue_empty = [&] {
     if (!side.empty()) {
@@ -445,13 +625,14 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     // Unpack the delivery's coordinates; dest server and duplicate count are
     // recomputed here, for popped candidates only (AssignedServer is a pure
     // function of the coordinates, and holder sets don't change mid-cycle).
-    const MulticastJob* job = jobs_by_pos[c.key >> 48];
+    const size_t jpos = static_cast<size_t>(c.key >> 48);
+    const MulticastJob* job = jobs_by_pos[jpos];
     PendingDelivery p;
     p.job = job->id;
     p.block = static_cast<int64_t>((c.key >> 6) & kBlockMask);
     p.dc = job->dest_dcs[c.key & 63];
     p.dest_server = state.AssignedServer(p.job, p.block, p.dc);
-    p.duplicates = state.DuplicateCount(p.job, p.block);
+    p.duplicates = cursors[jpos].duplicate_count(p.block);
     // One hash per candidate: the same (job, block) key drives the staleness
     // check, the holder-offset salt, and the speculative duplicate credit.
     // Read-only lookup here — most candidates are popped once and rejected,
@@ -472,7 +653,7 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     if (!in_flight.empty() && in_flight.count(DeliveryKey{p.job, p.block, p.dc}) != 0) {
       continue;
     }
-    if (p.dest_server == kInvalidServer || state.ServerFailed(p.dest_server)) {
+    if (p.dest_server == kInvalidServer || (any_failed && state.ServerFailed(p.dest_server))) {
       continue;  // No live agent can receive this delivery right now.
     }
     Bytes bytes = job->BlockSizeOf(p.block);
@@ -494,7 +675,7 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
     // pseudo-randomly so equal holders share the load — this global
     // balancing is what avoids the hotspots local adaptation creates
     // (§2.3 Limitation 1).
-    const std::vector<ServerId>& holders = state.Holders(p.job, p.block);
+    const std::vector<ServerId>& holders = cursors[jpos].holders(p.block);
     ServerId best_src = kInvalidServer;
     Bytes* best_left = nullptr;
     Bytes best_budget = 0.0;
@@ -542,7 +723,7 @@ std::vector<ControllerAlgorithm::Selected> ControllerAlgorithm::ScheduleBlocks(
   return selected;
 }
 
-void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
+void ControllerAlgorithm::RouteBlocks(int64_t cycle, std::vector<Selected> selected,
                                       const std::vector<Rate>& residual_capacities,
                                       CycleDecision& decision) {
   if (selected.empty()) {
@@ -647,6 +828,55 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
       rung_ >= DegradationRung::kCoarseEpsilon
           ? std::min(0.5, options_.fptas_epsilon * options_.degraded_epsilon_factor)
           : options_.fptas_epsilon;
+
+  // FPTAS warm start (DESIGN.md §9.7): seed each commodity from the
+  // previous cycle's converged flow split for its (source DC, destination
+  // DC, job) key, scaled to the commodity's own demand. Valid only for the
+  // immediately following cycle with an unchanged path set (the cache's
+  // invalidation generation — link faults bump it via InvalidatePathCache)
+  // and unchanged effective epsilon / route cap (covers degradation-rung
+  // moves). A commodity whose path count differs from its key's simply gets
+  // no seed.
+  const bool fptas_path = !options_.use_exact_lp && options_.use_incremental_fptas;
+  McfWarmSeed warm_seed;
+  McfWarmInfo warm_info;
+  const McfWarmSeed* warm_ptr = nullptr;
+  if (fptas_path && options_.warm_start) {
+    const RouteWarmCache& rc = route_warm_;
+    if (rc.valid && cycle == rc.last_cycle + 1 &&
+        rc.path_cache_invalidations == path_cache_.stats().invalidations &&
+        rc.epsilon == fptas_epsilon && rc.route_cap == route_cap) {
+      warm_seed.flows.resize(num_subtasks);
+      bool any = false;
+      for (size_t i = 0; i < num_subtasks; ++i) {
+        const Subtask& st = subtasks[i];
+        auto it = rc.flows.find(std::make_tuple(topo_->server(st.src).dc,
+                                                topo_->server(st.dst).dc, st.job));
+        if (it == rc.flows.end() ||
+            it->second.size() != instance.commodities[i].paths.size()) {
+          continue;
+        }
+        double sum = 0.0;
+        for (double v : it->second) {
+          sum += v;
+        }
+        if (sum <= 0.0) {
+          continue;
+        }
+        const double scale = instance.commodities[i].demand / sum;
+        std::vector<double>& seed = warm_seed.flows[i];
+        seed.resize(it->second.size());
+        for (size_t p = 0; p < seed.size(); ++p) {
+          seed[p] = it->second[p] * scale;
+        }
+        any = true;
+      }
+      if (any) {
+        warm_ptr = &warm_seed;
+      }
+    }
+  }
+
   McfShardStats shard_stats;
   McfResult flows;
   if (options_.use_exact_lp) {
@@ -656,13 +886,16 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
   } else if (options_.num_shards > 1) {
     McfShardOptions shard_options;
     shard_options.num_shards = options_.num_shards;
+    shard_options.split_contended = options_.split_contended;
     flows = SolveMcfFptasSharded(instance, fptas_epsilon, shard_options, &pool_,
-                                 &shard_stats);
+                                 &shard_stats, warm_ptr, &warm_info);
     decision.num_shard_components = shard_stats.num_components;
     decision.num_shard_groups = shard_stats.num_groups;
   } else {
-    flows = SolveMcfFptas(instance, fptas_epsilon);
+    flows = SolveMcfFptas(instance, fptas_epsilon, warm_ptr, &warm_info);
   }
+  decision.warm_solve = warm_info.used;
+  decision.fptas_phases_skipped = warm_info.phases_skipped;
   // Phase accounting: instance build + push loops count as "solve"; the
   // sharded solver's global finalize is the shard merge and is charged to
   // "merge" along with the block-split/transfer-emission tail below.
@@ -670,7 +903,34 @@ void ControllerAlgorithm::RouteBlocks(std::vector<Selected> selected,
   decision.solve_cpu_seconds += (solve_cpu_end - route_cpu0) - shard_stats.merge_seconds;
   decision.merge_cpu_seconds += shard_stats.merge_seconds;
   if (!flows.ok) {
+    route_warm_.valid = false;
     return;  // No routing possible this cycle (e.g. LP hit iteration limit).
+  }
+
+  // Carry this cycle's finalized flows as the next cycle's warm seed,
+  // accumulated per (src DC, dst DC, job) in subtask order (deterministic).
+  if (fptas_path && options_.warm_start) {
+    RouteWarmCache& rc = route_warm_;
+    rc.flows.clear();
+    for (size_t i = 0; i < num_subtasks; ++i) {
+      const Subtask& st = subtasks[i];
+      const std::vector<double>& f = flows.flow[i];
+      std::vector<double>& acc = rc.flows[std::make_tuple(topo_->server(st.src).dc,
+                                                          topo_->server(st.dst).dc, st.job)];
+      if (acc.empty()) {
+        acc.assign(f.size(), 0.0);
+      }
+      if (acc.size() == f.size()) {
+        for (size_t p = 0; p < f.size(); ++p) {
+          acc[p] += f[p];
+        }
+      }
+    }
+    rc.valid = true;
+    rc.last_cycle = cycle;
+    rc.path_cache_invalidations = path_cache_.stats().invalidations;
+    rc.epsilon = fptas_epsilon;
+    rc.route_cap = route_cap;
   }
 
   // Turn per-path flows into transfer assignments. Blocks are atomic, so a
@@ -763,7 +1023,7 @@ CycleDecision ControllerAlgorithm::Decide(int64_t cycle, const ReplicaState& sta
   std::vector<Selected> selected;
   {
     BDS_TIMED_SCOPE("scheduler.schedule");
-    selected = ScheduleBlocks(state, residual_capacities, in_flight);
+    selected = ScheduleBlocks(cycle, state, residual_capacities, in_flight, decision);
   }
   decision.select_cpu_seconds = ProcessCpuSeconds() - select_cpu0;
   decision.scheduled_blocks = static_cast<int64_t>(selected.size());
@@ -772,7 +1032,7 @@ CycleDecision ControllerAlgorithm::Decide(int64_t cycle, const ReplicaState& sta
   auto t1 = std::chrono::steady_clock::now();
   {
     BDS_TIMED_SCOPE("scheduler.route");
-    RouteBlocks(std::move(selected), residual_capacities, decision);
+    RouteBlocks(cycle, std::move(selected), residual_capacities, decision);
   }
   decision.routing_seconds = SecondsSince(t1);
   return decision;

@@ -15,10 +15,13 @@
 #ifndef BDS_SRC_SCHEDULER_CONTROLLER_ALGORITHM_H_
 #define BDS_SRC_SCHEDULER_CONTROLLER_ALGORITHM_H_
 
+#include <map>
 #include <memory>
+#include <tuple>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/huge_alloc.h"
 #include "src/common/parallel.h"
 #include "src/common/types.h"
 #include "src/lp/mcf.h"
@@ -121,6 +124,29 @@ struct ControllerAlgorithmOptions {
   // kShedCandidates caps deliveries selected per cycle at this (combined
   // with max_deliveries_per_cycle by min when both are set):
   int64_t shed_deliveries_cap = 4096;
+  // --- Cross-cycle incrementality (DESIGN.md §9.7) ---
+  // Delta candidate build: keep the previous cycle's candidate slot array
+  // and re-price only the (job, 64-block chunk) units ReplicaState marked
+  // dirty since; clean units are memcpy'd with their packed job position
+  // patched. Byte-identical to the from-scratch builders on every cycle
+  // (cold or warm), so it is safe as the universal default. `false` falls
+  // back to the always-from-scratch builders.
+  bool incremental_candidates = true;
+  // FPTAS warm start: seed each cycle's routing solve from the previous
+  // cycle's converged per-commodity flows when the topology and path set
+  // are unchanged. Relaxed parity: feasible, deterministic for any
+  // thread/shard count, objective within (1 + fptas_epsilon) of the cold
+  // solve — but NOT bitwise equal to it. Off by default.
+  bool warm_start = false;
+  // Forwarded to McfShardOptions::split_contended (num_shards > 1 only):
+  // splits giant contended commodity groups for parallelism. Deterministic
+  // but not bitwise-equal to the unsharded solve — gate it together with
+  // warm_start under the relaxed-parity contract.
+  bool split_contended = false;
+  // Debug cross-check: after every incremental candidate build, rebuild
+  // from scratch and BDS_CHECK the arrays are identical. O(pending) extra
+  // work per cycle; test-suite only.
+  bool debug_verify_incremental = false;
 };
 
 class ControllerAlgorithm {
@@ -137,8 +163,18 @@ class ControllerAlgorithm {
 
   // Drops the cached overlay-path skeletons. Call when the routing table's
   // route sets may have changed (rebuild, link fault); capacity-only changes
-  // never require it.
+  // never require it. Also implicitly invalidates the FPTAS warm-start cache
+  // (its validity check compares the cache's invalidation generation).
   void InvalidatePathCache() { path_cache_.Invalidate(); }
+
+  // Drops the cross-cycle caches (candidate slots + FPTAS warm seeds). The
+  // controller calls this on server failure and controller-replica failover;
+  // the caches' own identity/continuity checks (state uid, cycle + 1, knob
+  // values) cover everything else (invalidation matrix: DESIGN.md §9.7).
+  void InvalidateCycleCache() {
+    cand_cache_.valid = false;
+    route_warm_.valid = false;
+  }
 
   // Hit/miss/invalidation counters of the overlay path cache (see
   // ServerPathCache::Stats). Sharded and unsharded runs over the same cycle
@@ -163,14 +199,84 @@ class ControllerAlgorithm {
     ServerId src_server = kInvalidServer;
   };
 
+  // A schedulable delivery in packed 24-byte form (see ScheduleBlocks'
+  // commentary): `key` packs (job position, block, dest-DC position) into
+  // bit fields that strictly increase in PendingDeliveries() order, `salt`
+  // is the deterministic pseudo-random tie-break, `eff_dup` the speculative
+  // duplicate count. Ordering by (eff_dup, salt, key) has no ties.
+  struct Candidate {
+    int eff_dup;
+    uint64_t salt;
+    uint64_t key;
+    bool operator>(const Candidate& o) const {
+      if (eff_dup != o.eff_dup) {
+        return eff_dup > o.eff_dup;
+      }
+      if (salt != o.salt) {
+        return salt > o.salt;
+      }
+      return key > o.key;
+    }
+  };
+  // Candidate arrays live in transparent-hugepage-backed storage: at the
+  // fleet scale the build and carve stream hundreds of megabytes of slots,
+  // and 4 KiB pages make the TLB the bottleneck. Falls back silently to
+  // plain pages (and, below the size threshold, to plain operator new).
+  using CandVec = HugeVector<Candidate>;
+
+  // One kDirtyChunkBlocks-aligned slice of one job's candidate slots in the
+  // previous cycle's array (the delta build's unit of reuse).
+  struct CandidateUnit {
+    JobId job = kInvalidJob;
+    int64_t b0 = 0;        // First block of the chunk.
+    uint32_t jp = 0;       // Job position at build time.
+    uint32_t count = 0;    // Candidate slots in the chunk.
+    uint64_t offset = 0;   // First slot index in `slots`.
+  };
+
+  // Previous cycle's candidate array plus the unit index needed to patch it
+  // (DESIGN.md §9.7). Valid only against the exact ReplicaState object it
+  // was built from (state uid), the next cycle (last_cycle + 1), and the
+  // same policy; anything else falls back to an all-dirty (cold) build that
+  // refills the cache.
+  struct CandidateCache {
+    bool valid = false;
+    uint64_t state_uid = 0;
+    uint64_t seen_epoch = 0;  // ReplicaState::dirty_epoch() after the build.
+    int64_t last_cycle = 0;
+    SchedulingPolicy policy = SchedulingPolicy::kRarestFirst;
+    std::vector<CandidateUnit> units;
+    CandVec slots;
+    CandVec scratch;  // Double buffer for the patch pass.
+  };
+
+  // Previous cycle's converged path flows for the FPTAS warm start,
+  // accumulated per (source DC, destination DC, job). Exact subtask (server
+  // pair) identity rarely recurs across cycles — each cycle selects
+  // different blocks, and the sharding rule scatters their endpoint servers
+  // — but a job's DC pair is fixed, and path index i means the same WAN
+  // route for every server pair of that DC pair. A commodity is seeded with
+  // its key's flow split scaled to its own demand. Valid only for the next
+  // cycle with an unchanged path set (path-cache invalidation generation)
+  // and the same effective epsilon / route cap (covers degradation-rung
+  // moves).
+  struct RouteWarmCache {
+    bool valid = false;
+    int64_t last_cycle = 0;
+    int64_t path_cache_invalidations = 0;
+    double epsilon = 0.0;
+    int route_cap = 0;
+    std::map<std::tuple<DcId, DcId, JobId>, std::vector<double>> flows;
+  };
+
   // Scheduling step: rarest-first selection under capacity budgets.
-  std::vector<Selected> ScheduleBlocks(const ReplicaState& state,
+  std::vector<Selected> ScheduleBlocks(int64_t cycle, const ReplicaState& state,
                                        const std::vector<Rate>& residual_capacities,
-                                       const DeliveryKeySet& in_flight);
+                                       const DeliveryKeySet& in_flight, CycleDecision& decision);
 
   // Routing step: merge into subtasks, build the MCF, allocate rates.
-  void RouteBlocks(std::vector<Selected> selected, const std::vector<Rate>& residual_capacities,
-                   CycleDecision& decision);
+  void RouteBlocks(int64_t cycle, std::vector<Selected> selected,
+                   const std::vector<Rate>& residual_capacities, CycleDecision& decision);
 
   const Topology* topo_;
   const WanRoutingTable* routing_;
@@ -183,6 +289,12 @@ class ControllerAlgorithm {
   // re-allocating its MCF instance and path buffers every cycle.
   McfInstance mcf_instance_;
   std::vector<std::vector<ServerPath>> subtask_paths_;
+  // Cross-cycle caches (DESIGN.md §9.7). cand_work_ is the selection loop's
+  // working array, reused so the fleet-scale build stops re-allocating
+  // hundreds of megabytes per cycle.
+  CandVec cand_work_;
+  CandidateCache cand_cache_;
+  RouteWarmCache route_warm_;
 };
 
 // Splits `num_blocks` atomic blocks across a subtask's paths proportionally

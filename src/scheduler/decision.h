@@ -50,6 +50,18 @@ struct CycleDecision {
   // unsharded.
   int num_shard_components = 0;
   int num_shard_groups = 0;
+  // Cross-cycle incrementality observability (DESIGN.md §9.7); all excluded
+  // from Fingerprint() — reuse is a performance property, never a decision
+  // input. Units are (job, 64-block chunk) slices of the candidate array;
+  // slots are individual candidates.
+  int64_t cand_units_reused = 0;
+  int64_t cand_units_repriced = 0;
+  int64_t cand_slots_reused = 0;
+  int64_t cand_slots_repriced = 0;
+  // FPTAS warm start: whether a seed was applied this cycle, and how many
+  // alpha phases it provably skipped.
+  bool warm_solve = false;
+  int64_t fptas_phases_skipped = 0;
 
   double total_seconds() const { return scheduling_seconds + routing_seconds; }
 

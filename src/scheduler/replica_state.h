@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -24,6 +25,32 @@
 #include "src/workload/job.h"
 
 namespace bds {
+
+// Identity tag for cross-cycle caches keyed on a ReplicaState object. Every
+// construction — including copy and move — mints a fresh process-unique id,
+// and every assignment re-mints the target's id. A cache keyed by
+// state_uid() can therefore only ever hit the exact object (and object
+// lifetime) it was built against: the controller's stale fallback view is a
+// *copy* of the live state and must never alias its cache entries.
+class StateUid {
+ public:
+  StateUid() : value_(Next()) {}
+  StateUid(const StateUid&) : value_(Next()) {}
+  StateUid(StateUid&&) noexcept : value_(Next()) {}
+  StateUid& operator=(const StateUid&) {
+    value_ = Next();
+    return *this;
+  }
+  StateUid& operator=(StateUid&&) noexcept {
+    value_ = Next();
+    return *this;
+  }
+  uint64_t value() const { return value_; }
+
+ private:
+  static uint64_t Next();
+  uint64_t value_;
+};
 
 // Deterministic placement rule shared by every component that needs to know
 // where a block lives: block `block` of `job` is stored on server index
@@ -172,6 +199,18 @@ class ReplicaState {
   // servers never hold blocks and cannot receive deliveries.
   bool ServerFailed(ServerId server) const { return failed_servers_.count(server) != 0; }
 
+  // Whether any server is currently failed. The selection hot loop hoists
+  // this so the common no-failures cycle skips the per-pop set lookup.
+  bool AnyServerFailed() const { return !failed_servers_.empty(); }
+
+  // Position-indexed cursor for the selection hot loop: one hash lookup at
+  // construction, then O(1) per-block reads. Results are identical to
+  // DuplicateCount()/Holders() for in-range blocks of a live job; the block
+  // index must be valid (popped candidates always are — they came from the
+  // owed stream). Invalidated by any mutation of the state.
+  class JobCursor;
+  JobCursor CursorAt(size_t jp) const;
+
   // Every destination server of every registered job.
   std::vector<ServerId> AllDestinationServers() const;
 
@@ -217,6 +256,26 @@ class ReplicaState {
   int64_t retired_blocks() const { return retired_blocks_; }
   int64_t num_live_jobs() const { return static_cast<int64_t>(job_ids_.size()); }
 
+  // --- Cross-cycle dirty tracking (incremental candidate build) ---
+  //
+  // Blocks are grouped into fixed chunks of kDirtyChunkBlocks; every mutation
+  // that can change what ForEachOwedInRange would report for a (job, chunk) —
+  // job arrival, replica add (duplicate counts), owed-bit changes, server
+  // failure — stamps that chunk with a fresh monotone epoch. A consumer
+  // snapshots dirty_epoch() right after building; on the next build a chunk
+  // is clean iff ChunkVersion(...) <= that snapshot. Job retirement does not
+  // stamp anything: it only shifts the job *positions* of later jobs, which
+  // the consumer patches directly.
+  static constexpr int64_t kDirtyChunkBlocks = 64;
+  uint64_t state_uid() const { return uid_.value(); }
+  uint64_t dirty_epoch() const { return dirty_epoch_; }
+  // Stamp of chunk `chunk` (blocks [chunk*kDirtyChunkBlocks, (chunk+1)*...))
+  // of the job at position `jp` in job_ids().
+  uint64_t ChunkVersion(size_t jp, int64_t chunk) const {
+    const JobInfo& info = jobs_.find(job_ids_[jp])->second;
+    return info.chunk_versions[static_cast<size_t>(chunk)];
+  }
+
  private:
   // DC sets are 64-bit masks: BDS deployments span 10-30 DCs (the paper's
   // fleet), and AddJob rejects topologies beyond 64.
@@ -229,10 +288,16 @@ class ReplicaState {
     MulticastJob job;
     std::vector<BlockInfo> blocks;
     int64_t owed = 0;  // Outstanding (block, dc) deliveries.
+    // One epoch stamp per kDirtyChunkBlocks-block chunk; see dirty_epoch().
+    std::vector<uint64_t> chunk_versions;
   };
 
   JobInfo* Find(JobId job);
   const JobInfo* Find(JobId job) const;
+
+  void StampChunk(JobInfo& info, int64_t block) {
+    info.chunk_versions[static_cast<size_t>(block / kDirtyChunkBlocks)] = ++dirty_epoch_;
+  }
 
   const Topology* topo_;
   std::unordered_map<JobId, JobInfo> jobs_;
@@ -246,7 +311,29 @@ class ReplicaState {
   int64_t retired_jobs_ = 0;
   int64_t retired_blocks_ = 0;
   std::unordered_map<ServerId, ServerOriginStats> origin_stats_;
+  StateUid uid_;
+  uint64_t dirty_epoch_ = 0;
 };
+
+class ReplicaState::JobCursor {
+ public:
+  const MulticastJob& job() const { return info_->job; }
+  int duplicate_count(int64_t block) const {
+    return static_cast<int>(info_->blocks[static_cast<size_t>(block)].holders.size());
+  }
+  const std::vector<ServerId>& holders(int64_t block) const {
+    return info_->blocks[static_cast<size_t>(block)].holders;
+  }
+
+ private:
+  friend class ReplicaState;
+  explicit JobCursor(const JobInfo* info) : info_(info) {}
+  const JobInfo* info_;
+};
+
+inline ReplicaState::JobCursor ReplicaState::CursorAt(size_t jp) const {
+  return JobCursor(&jobs_.find(job_ids_[jp])->second);
+}
 
 }  // namespace bds
 

@@ -71,6 +71,24 @@ STEADY_METRICS = {
 # noise and the threshold.
 EDGE_CUTOFF = 0.7
 
+# Amortized (cross-cycle) gates for the "steady_cycles" section written by
+# bench_fig11_scalability: N consecutive cycles of one long-lived controller
+# with ~5% job churn, warm start and contended-group splitting on. Two
+# families of checks:
+#  - Within-run invariants, gated at any scale: every post-cold cycle must
+#    actually warm-start (warm_solves == cycles - 1), and the amortized warm
+#    cycle must beat the cold cycle of the SAME run by at least this ratio.
+#    Comparing warm to cold inside one process cancels machine-speed noise
+#    the same way the config-relative sweep ratios do.
+#  - Absolute checks, gated only when the committed and fresh runs used the
+#    same block count (a smoke run shrinks the workload, which legitimately
+#    moves reuse and CPU): warm CPU vs the committed value under the
+#    large-point threshold, and a floor under the candidate reuse rate.
+WARM_OVER_COLD_MAX = 0.95
+# Reuse rate is workload-determined (same churn schedule every run), so it
+# barely moves between runs; 5 points absolute absorbs hash-ordering drift.
+REUSE_RATE_SLACK = 0.05
+
 
 def load(path):
     with open(path) as f:
@@ -151,6 +169,62 @@ def compare_large(baseline_data, fresh_data, threshold):
             flag = "  REGRESSION"
         print(f"{size:>10}  {was:>10.3f}  {now:>10.3f}  {delta:>+6.1%}{flag}")
     return len(common), failures
+
+
+def compare_amortized(baseline_data, fresh_data, threshold):
+    """Cross-cycle gate for the "steady_cycles" section (see the comment on
+    WARM_OVER_COLD_MAX). Returns (compared, failures) where failures is a
+    list of human-readable strings. Runs whenever both files carry the
+    section; absolute checks only when the block counts match."""
+    base = baseline_data.get("steady_cycles")
+    fresh = fresh_data.get("steady_cycles")
+    if not base or not fresh:
+        return 0, []
+    failures = []
+    compared = 0
+    print("\nsteady cycles (cross-cycle amortization):")
+
+    def check(name, value, ok, detail):
+        nonlocal compared
+        compared += 1
+        flag = ""
+        if not ok:
+            failures.append(f"{name}: {detail}")
+            flag = "  REGRESSION"
+        print(f"  {name:>24}  {value}{flag}")
+
+    cycles = fresh.get("cycles", 0)
+    warm_solves = fresh.get("warm_solves", -1)
+    check("warm_solves", f"{warm_solves}/{cycles - 1}",
+          warm_solves == cycles - 1,
+          f"only {warm_solves} of {cycles - 1} post-cold cycles warm-started")
+    cold = fresh.get("cold_cpu_seconds", 0.0)
+    warm = fresh.get("warm_cpu_seconds", 0.0)
+    ratio = warm / cold if cold > 0 else float("inf")
+    check("warm/cold cpu", f"{ratio:.3f} (max {WARM_OVER_COLD_MAX})",
+          ratio <= WARM_OVER_COLD_MAX,
+          f"amortized warm cycle {warm:.3f}s vs cold {cold:.3f}s "
+          f"({ratio:.2f}x; warm cycles lost their edge)")
+
+    if base.get("blocks") != fresh.get("blocks"):
+        print(f"  (committed run at {base.get('blocks')} blocks, fresh at "
+              f"{fresh.get('blocks')}; absolute checks skipped)")
+        return compared, failures
+
+    was, now = base.get("warm_cpu_seconds", 0.0), warm
+    delta = now / was - 1.0 if was > 0 else float("inf")
+    check("warm cpu_seconds", f"{was:.3f} -> {now:.3f} ({delta:+.1%})",
+          delta <= threshold,
+          f"amortized warm CPU {was:.3f}s -> {now:.3f}s ({delta:+.1%})")
+    was, now = base.get("reuse_rate", 0.0), fresh.get("reuse_rate", 0.0)
+    check("reuse_rate", f"{was:.3f} -> {now:.3f}",
+          now >= was - REUSE_RATE_SLACK,
+          f"candidate reuse rate fell {was:.3f} -> {now:.3f}")
+    if base.get("phases_skipped", 0) > 0:
+        now = fresh.get("phases_skipped", 0)
+        check("phases_skipped", f"{now}", now > 0,
+              "warm start no longer skips any FPTAS phases")
+    return compared, failures
 
 
 def run_bench(bench, smoke):
@@ -256,6 +330,13 @@ def main():
     if fresh_data.get("telemetry_enabled", False):
         raise SystemExit(f"{fresh_path}: fresh run had telemetry enabled; "
                          "bench timings must be taken with telemetry off")
+    # Same reasoning for warm start: the sweep sections time the cold path
+    # (steady_cycles carries its own in-section warm_start stamp), so a
+    # header-level warm_start=true means the harness quietly warmed the
+    # sweep timings and the comparison is invalid.
+    if fresh_data.get("warm_start", False) != baseline_data.get("warm_start", False):
+        raise SystemExit(f"{fresh_path}: 'warm_start' header stamp differs from "
+                         "the baseline; sweep timings are not comparable")
     if baseline_data.get("mode") == "steady" or fresh_data.get("mode") == "steady":
         if baseline_data.get("mode") != fresh_data.get("mode"):
             raise SystemExit("mode mismatch: one file is a steady-state sweep "
@@ -324,7 +405,9 @@ def main():
 
     large_compared, large_failures = compare_large(baseline_data, fresh_data,
                                                    args.large_threshold)
-    if compared == 0 and large_compared == 0:
+    amortized_compared, amortized_failures = compare_amortized(
+        baseline_data, fresh_data, args.large_threshold)
+    if compared == 0 and large_compared == 0 and amortized_compared == 0:
         print("error: no gateable configs common to the two files", file=sys.stderr)
         return 2
     if failures:
@@ -338,10 +421,16 @@ def main():
         for size, was, now, delta in large_failures:
             print(f"  {size} flows: {was:.3f}s -> {now:.3f}s ({delta:+.1%})",
                   file=sys.stderr)
-    if failures or large_failures:
+    if amortized_failures:
+        print(f"\n{len(amortized_failures)} amortized steady-cycle check(s) failed:",
+              file=sys.stderr)
+        for failure in amortized_failures:
+            print(f"  {failure}", file=sys.stderr)
+    if failures or large_failures or amortized_failures:
         return 1
     print(f"\nOK: {compared} configs"
           + (f" + {large_compared} large points" if large_compared else "")
+          + (f" + {amortized_compared} amortized checks" if amortized_compared else "")
           + f" within tolerance of the committed baseline")
     return 0
 

@@ -13,7 +13,10 @@ Checks (exit 1 on the first violation):
 
 Then prints one table row per (category, name): event count, total time and
 mean of "X" spans, so `fptas.solve` vs `scheduler.schedule` time is readable
-straight from a quickstart/CI artifact.
+straight from a quickstart/CI artifact. Instant events that carry numeric
+args get a third table summing each arg across the run — e.g. the
+`scheduler.cand_reuse` per-cycle instants roll up to how many candidate
+slots the incremental build reused overall.
 """
 
 import argparse
@@ -95,6 +98,7 @@ def main() -> int:
 
     spans = collections.defaultdict(lambda: {"count": 0, "total_us": 0.0})
     instants = collections.Counter()
+    instant_args = collections.defaultdict(float)
     tids = set()
     for i, ev in enumerate(events):
         validate_event(i, ev)
@@ -105,6 +109,9 @@ def main() -> int:
             spans[key]["total_us"] += float(ev["dur"])
         else:
             instants[key] += 1
+            for arg, value in (ev.get("args") or {}).items():
+                if isinstance(value, (int, float)) and math.isfinite(value):
+                    instant_args[key + (arg,)] += value
 
     print(
         f"{opts.trace}: OK — {len(events)} events "
@@ -127,6 +134,10 @@ def main() -> int:
         print(f"\n{'category':<12} {'instant':<26} {'count':>7}")
         for (cat, name), n in sorted(instants.items(), key=lambda kv: -kv[1]):
             print(f"{cat:<12} {name:<26} {n:>7}")
+    if instant_args:
+        print(f"\n{'category':<12} {'instant arg':<40} {'sum':>14}")
+        for (cat, name, arg), total in sorted(instant_args.items()):
+            print(f"{cat:<12} {name + '.' + arg:<40} {total:>14.0f}")
     return 0
 
 
