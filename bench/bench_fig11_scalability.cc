@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/control/monitors.h"
 #include "src/core/service.h"
@@ -549,6 +550,8 @@ void WriteSweepJson(const std::vector<SweepPoint>& points,
   // fails any JSON stamped with telemetry on.
   std::fprintf(f, "  \"telemetry_enabled\": %s,\n",
                bds::telemetry::Enabled() ? "true" : "false");
+  std::fprintf(f, "  \"flight_recorder_enabled\": %s,\n",
+               bds::telemetry::FlightRecorder::Global().active() ? "true" : "false");
   // The ablation and fleet sweeps time cold single-cycle decisions; warm
   // start only applies in the steady_cycles section, which carries its own
   // stamp. Regression checks require this header stamp to match between

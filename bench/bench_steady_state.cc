@@ -24,6 +24,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/service.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/topology/builders.h"
 
@@ -145,6 +146,8 @@ void WriteSweepJson(const std::vector<SweepPoint>& points, bool smoke,
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"telemetry_enabled\": %s,\n",
                bds::telemetry::Enabled() ? "true" : "false");
+  std::fprintf(f, "  \"flight_recorder_enabled\": %s,\n",
+               bds::telemetry::FlightRecorder::Global().active() ? "true" : "false");
   // This bench never exercises the controller's cross-cycle warm start;
   // the stamp lets the regression gate assert the header matches its
   // committed baseline.

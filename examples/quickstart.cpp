@@ -5,6 +5,7 @@
 //               [--threads N] [--shards K] [--warm-start] [--split-contended]
 //               [--duration S] [--arrival-rate JOBS_PER_HOUR]
 //               [--trace-json PATH] [--summary-jsonl PATH]
+//               [--flight-recorder PATH] [--timeseries-dt S] [--slo-json PATH]
 //
 // --threads and --shards exercise the fleet-scale controller (DESIGN.md
 // "Sharded controller"); either may be raised without changing any decision.
@@ -23,6 +24,13 @@
 // With --trace-json the run is recorded and exported as Chrome trace_event
 // JSON — open it in chrome://tracing or https://ui.perfetto.dev, or validate
 // and summarise it with tools/trace_summary.py.
+//
+// With --flight-recorder the per-transfer lifecycle journal (arrival,
+// admission verdict, per-cycle schedule, rate changepoints, fault hits,
+// completion) is written as bds-flight-v1 JSONL — explain one transfer with
+// tools/bds_explain.py. With --timeseries-dt (steady-state mode only) the
+// simulated-time SLO sampler runs at that cadence and --slo-json exports the
+// bds-slo-v1 series for tools/slo_dashboard.py.
 
 #include <algorithm>
 #include <cstdio>
@@ -32,6 +40,7 @@
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/core/bds.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 
 int main(int argc, char** argv) {
@@ -48,6 +57,9 @@ int main(int argc, char** argv) {
   bool verbose = false;
   std::string trace_json;
   std::string summary_jsonl;
+  std::string flight_recorder;
+  double timeseries_dt = 0.0;
+  std::string slo_json;
 
   bds::FlagParser flags;
   flags.AddInt("dcs", &dcs, "number of datacenters (>= 2)");
@@ -66,6 +78,11 @@ int main(int argc, char** argv) {
   flags.AddBool("verbose", &verbose, "enable info logging");
   flags.AddString("trace-json", &trace_json, "write a Chrome trace_event JSON file here");
   flags.AddString("summary-jsonl", &summary_jsonl, "write a JSONL metrics summary here");
+  flags.AddString("flight-recorder", &flight_recorder,
+                  "write the per-transfer flight-recorder JSONL here");
+  flags.AddDouble("timeseries-dt", &timeseries_dt,
+                  "steady-state mode: SLO sampler cadence in simulated seconds (0 = off)");
+  flags.AddString("slo-json", &slo_json, "steady-state mode: write the SLO time-series here");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -77,6 +94,9 @@ int main(int argc, char** argv) {
     // Turns on the metrics registry too; the run's counters and latency
     // histograms land on RunReport::telemetry.
     bds::telemetry::TraceRecorder::Global().Start();
+  }
+  if (!flight_recorder.empty()) {
+    bds::telemetry::FlightRecorder::Global().Start();
   }
 
   // 1. Describe the infrastructure. BuildGeoTopology gives a Baidu-like
@@ -136,6 +156,24 @@ int main(int argc, char** argv) {
     return true;
   };
 
+  // Writes the flight-recorder journal; shared by both run modes.
+  auto finish_flight_recorder = [&]() {
+    if (flight_recorder.empty()) {
+      return true;
+    }
+    auto& fr = bds::telemetry::FlightRecorder::Global();
+    fr.Stop();
+    auto status = fr.WriteJsonl(flight_recorder);
+    if (!status.ok()) {
+      std::fprintf(stderr, "flight recorder: %s\n", status.ToString().c_str());
+      return false;
+    }
+    std::printf("Wrote %lld transfer journals (%lld events) to %s\n",
+                static_cast<long long>(fr.num_transfers()),
+                static_cast<long long>(fr.num_events()), flight_recorder.c_str());
+    return true;
+  };
+
   // 3a. Steady-state service mode: open-loop arrivals instead of one job.
   if (duration > 0.0) {
     bds::SteadyStateOptions steady;
@@ -144,6 +182,11 @@ int main(int argc, char** argv) {
     steady.arrivals.size_scale = 1e-6;  // TB-scale trace shapes -> laptop scale.
     steady.admission.enabled = true;
     steady.overload.enabled = true;
+    if (timeseries_dt > 0.0 || !slo_json.empty()) {
+      steady.timeseries.enabled = true;
+      steady.timeseries.sample_dt = timeseries_dt > 0.0 ? timeseries_dt : 60.0;
+      steady.timeseries.jsonl_path = slo_json;
+    }
     auto steady_report = (*service)->RunSteadyState(steady);
     if (!steady_report.ok()) {
       std::fprintf(stderr, "steady-state run: %s\n",
@@ -151,7 +194,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%s", steady_report->ToString().c_str());
-    if (!finish_tracing(steady_report->run.telemetry)) {
+    if (!slo_json.empty() && steady_report->timeseries_samples > 0) {
+      std::printf("Wrote SLO time-series (%lld samples, %zu alerts) to %s\n",
+                  static_cast<long long>(steady_report->timeseries_samples),
+                  steady_report->slo_alerts.size(), slo_json.c_str());
+    }
+    if (!finish_tracing(steady_report->run.telemetry) || !finish_flight_recorder()) {
       return 1;
     }
     return steady_report->run.stop_reason == bds::StopReason::kAborted ? 2 : 0;
@@ -190,7 +238,7 @@ int main(int argc, char** argv) {
                 report->feedback_delays.Quantile(0.9) * 1e3);
   }
 
-  if (!finish_tracing(report->telemetry)) {
+  if (!finish_tracing(report->telemetry) || !finish_flight_recorder()) {
     return 1;
   }
   return report->completed ? 0 : 2;

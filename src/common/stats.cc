@@ -204,11 +204,17 @@ double Histogram::BinHigh(int bin) const { return BinLow(bin + 1); }
 
 double Histogram::Quantile(double q) const {
   if (total_ == 0) {
-    return 0.0;
+    return lo_;  // Range floor: always a representable value of this histogram.
   }
-  q = std::clamp(q, 0.0, 1.0);
+  // std::clamp is unspecified for NaN; pin it to the low edge explicitly.
+  if (!(q >= 0.0)) {
+    q = 0.0;
+  } else if (q > 1.0) {
+    q = 1.0;
+  }
   const double target = q * static_cast<double>(total_);
   int64_t cumulative = 0;
+  int last_occupied = -1;
   for (int b = 0; b < bins(); ++b) {
     const int64_t c = counts_[static_cast<size_t>(b)];
     if (static_cast<double>(cumulative + c) >= target && c > 0) {
@@ -216,8 +222,14 @@ double Histogram::Quantile(double q) const {
       return BinLow(b) + (BinHigh(b) - BinLow(b)) * std::clamp(within, 0.0, 1.0);
     }
     cumulative += c;
+    if (c > 0) {
+      last_occupied = b;
+    }
   }
-  return hi_;
+  // Rounding pushed the target past every occupied bin; the tightest honest
+  // answer is the high edge of the last occupied bin, not hi_ (which can be
+  // far above every recorded sample when the top bins are empty).
+  return last_occupied >= 0 ? BinHigh(last_occupied) : hi_;
 }
 
 std::string Histogram::ToString(int width) const {

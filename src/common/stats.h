@@ -95,8 +95,11 @@ class Histogram {
 
   // Approximate q-quantile (q in [0, 1]) assuming mass is uniform within a
   // bin: finds the bin holding the q-th count and interpolates inside it.
-  // Values clamped into the edge bins resolve to the bin boundary. Returns
-  // 0 for an empty histogram.
+  // Values clamped into the edge bins resolve to the bin boundary. Edge
+  // cases: an empty histogram returns lo(); q outside [0, 1] — including
+  // NaN — is clamped (NaN resolves to q=0); when floating-point rounding
+  // pushes the target past every occupied bin, the high edge of the last
+  // occupied bin is returned rather than hi().
   double Quantile(double q) const;
   int bins() const { return static_cast<int>(counts_.size()); }
   int64_t total() const { return total_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 
 namespace bds {
@@ -297,6 +298,39 @@ void BdsController::ConfigureAdmission(const AdmissionOptions& options) {
   admission_ = AdmissionController(options);
 }
 
+Status BdsController::ConfigureTimeseries(const telemetry::TimeseriesOptions& options) {
+  BDS_RETURN_IF_ERROR(telemetry::ValidateTimeseriesOptions(options));
+  if (!options.enabled) {
+    timeseries_.reset();
+    timeseries_links_.clear();
+    return Status::Ok();
+  }
+  timeseries_ = std::make_unique<telemetry::SloTimeseries>(options);
+  // Track the highest-capacity WAN links (tie-break by id so the selection
+  // is deterministic), reported in ascending-id order.
+  std::vector<std::pair<Rate, LinkId>> wan;
+  for (LinkId l = 0; l < topo_->num_links(); ++l) {
+    if (topo_->link(l).type == LinkType::kWan) {
+      wan.emplace_back(-topo_->link(l).capacity, l);
+    }
+  }
+  std::sort(wan.begin(), wan.end());
+  std::vector<LinkId> tracked;
+  for (const auto& [neg_cap, l] : wan) {
+    if (static_cast<int>(tracked.size()) >= options.max_tracked_links) {
+      break;
+    }
+    tracked.push_back(l);
+  }
+  std::sort(tracked.begin(), tracked.end());
+  timeseries_->SetTrackedLinks(tracked);
+  timeseries_links_ = timeseries_->tracked_links();
+  ts_select_cpu_ = 0.0;
+  ts_solve_cpu_ = 0.0;
+  ts_merge_cpu_ = 0.0;
+  return Status::Ok();
+}
+
 void BdsController::ConfigureRetirement(bool retire_completed, int64_t completed_flow_history,
                                         int64_t max_cycle_stats) {
   retire_completed_ = retire_completed;
@@ -314,6 +348,13 @@ void BdsController::SetBackgroundTraffic(BackgroundTrafficModel* model) {
 }
 
 void BdsController::AdmitJobNow(const MulticastJob& job) {
+  {
+    telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
+    if (fr.active()) {
+      fr.Arrival(job.id, sim_.now(), job.source_dc, static_cast<int>(job.dest_dcs.size()),
+                 job.num_blocks(), job.total_bytes);
+    }
+  }
   Status s = state_.AddJob(job);
   BDS_CHECK_MSG(s.ok(), s.ToString().c_str());
   if (view_ != nullptr) {
@@ -340,6 +381,7 @@ int64_t BdsController::JobDeliveries(const MulticastJob& job) const {
 }
 
 bool BdsController::RegisterOpenArrivals(SimTime now) {
+  telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
   bool added = false;
   // Re-offer deferred jobs first, FIFO: stop at the first still-deferred so
   // admission order is preserved.
@@ -352,6 +394,10 @@ bool BdsController::RegisterOpenArrivals(SimTime now) {
       break;
     }
     admission_.CountAccepted();
+    if (fr.active()) {
+      fr.AdmissionVerdict(deferred_jobs_.front().id, now, "accept", admission_.last_reason(),
+                          backlog);
+    }
     deferred_deliveries_ -= jd;
     MulticastJob job = std::move(deferred_jobs_.front());
     deferred_jobs_.pop_front();
@@ -365,8 +411,12 @@ bool BdsController::RegisterOpenArrivals(SimTime now) {
          open_arrivals_->NextArrivalTime() < arrivals_stop_) {
     MulticastJob job = open_arrivals_->Take();
     const int64_t jd = JobDeliveries(job);
-    switch (admission_.Admit(jd, state_.num_pending() + deferred_deliveries_)) {
+    const int64_t backlog = state_.num_pending() + deferred_deliveries_;
+    switch (admission_.Admit(jd, backlog)) {
       case AdmissionDecision::kAccept:
+        if (fr.active()) {
+          fr.AdmissionVerdict(job.id, now, "accept", admission_.last_reason(), backlog);
+        }
         AdmitJobNow(job);
         added = true;
         break;
@@ -374,14 +424,23 @@ bool BdsController::RegisterOpenArrivals(SimTime now) {
         if (static_cast<int64_t>(deferred_jobs_.size()) <
             admission_.options().max_deferred_jobs) {
           admission_.CountDeferred();
+          if (fr.active()) {
+            fr.AdmissionVerdict(job.id, now, "defer", admission_.last_reason(), backlog);
+          }
           deferred_deliveries_ += jd;
           deferred_jobs_.push_back(std::move(job));
         } else {
           admission_.CountRejected();
+          if (fr.active()) {
+            fr.AdmissionVerdict(job.id, now, "reject", "defer_overflow", backlog);
+          }
           BDS_TELEMETRY_COUNT("controller.jobs_rejected", 1);
         }
         break;
       case AdmissionDecision::kReject:
+        if (fr.active()) {
+          fr.AdmissionVerdict(job.id, now, "reject", admission_.last_reason(), backlog);
+        }
         BDS_TELEMETRY_COUNT("controller.jobs_rejected", 1);
         break;
     }
@@ -451,9 +510,15 @@ void BdsController::ApplyFailures(SimTime now) {
         doomed.push_back(tag);
       }
     }
+    std::sort(doomed.begin(), doomed.end());  // Map order is incidental.
+    telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
     for (int64_t tag : doomed) {
       CtrlTransfer t = transfers_[tag];
       transfers_.erase(tag);
+      if (fr.active()) {
+        fr.FaultHit(t.assignment.job, now, "server_failure", static_cast<int64_t>(server));
+        fr.Cancel(t.assignment.job, now, "server_failure", /*credited_blocks=*/0);
+      }
       (void)sim_.CancelFlow(t.flow);
       for (int64_t b : t.assignment.blocks) {
         in_flight_.erase(DeliveryKey{t.assignment.job, b, t.dest_dc});
@@ -500,8 +565,15 @@ void BdsController::ApplyLinkFaults(SimTime now) {
       }
     }
     std::sort(doomed.begin(), doomed.end());  // Map order is incidental.
+    telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
     for (int64_t tag : doomed) {
-      CancelAndCredit(tag);
+      if (fr.active()) {
+        auto it = transfers_.find(tag);
+        if (it != transfers_.end()) {
+          fr.FaultHit(it->second.assignment.job, now, "link_down", static_cast<int64_t>(e.link));
+        }
+      }
+      CancelAndCredit(tag, "link_down");
     }
     fault_.mutable_stats().flows_killed +=
         static_cast<int64_t>(doomed.size()) + fallback_.HandleLinkFault(e.link);
@@ -543,7 +615,7 @@ void BdsController::MirrorDelivery(JobId job, int64_t block, ServerId src, Serve
   unreported_[topo_->server(dst).dc].push_back(PendingReport{job, block, src, dst});
 }
 
-void BdsController::CancelAndCredit(int64_t tag) {
+void BdsController::CancelAndCredit(int64_t tag, const char* reason) {
   auto it = transfers_.find(tag);
   if (it == transfers_.end()) {
     return;
@@ -551,6 +623,7 @@ void BdsController::CancelAndCredit(int64_t tag) {
   CtrlTransfer t = std::move(it->second);
   transfers_.erase(it);
   BDS_TELEMETRY_COUNT("controller.transfers_cancelled", 1);
+  telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
   auto delivered = sim_.CancelFlow(t.flow);
   Bytes delivered_bytes = delivered.ok() ? *delivered : 0.0;
   Bytes per_block = t.assignment.bytes / static_cast<double>(t.assignment.blocks.size());
@@ -559,6 +632,9 @@ void BdsController::CancelAndCredit(int64_t tag) {
           ? static_cast<int64_t>(delivered_bytes / per_block + kFluidEpsilon)
           : 0;
   full_blocks = std::min(full_blocks, static_cast<int64_t>(t.assignment.blocks.size()));
+  if (fr.active()) {
+    fr.Cancel(t.assignment.job, sim_.now(), reason, full_blocks);
+  }
   int64_t before = state_.total_credited();
   for (size_t i = 0; i < t.assignment.blocks.size(); ++i) {
     int64_t b = t.assignment.blocks[i];
@@ -568,6 +644,9 @@ void BdsController::CancelAndCredit(int64_t tag) {
       // `full_blocks` have fully arrived — each is checksum-verified before
       // it is credited.
       if (fault_.DrawBlockCorrupted()) {
+        if (fr.active()) {
+          fr.FaultHit(t.assignment.job, sim_.now(), "block_corrupted", b);
+        }
         continue;  // Not credited; stays pending and is rescheduled.
       }
       (void)state_.NoteDelivery(t.assignment.job, b, t.assignment.src_server,
@@ -614,7 +693,7 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     }
   }
   for (int64_t tag : stalled) {
-    CancelAndCredit(tag);
+    CancelAndCredit(tag, "stalled");
   }
 
   // (1) + (3): agent states and network statistics.
@@ -673,6 +752,12 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
   stats.merged_subtasks = decision.merged_subtasks;
   stats.scheduling_seconds = decision.scheduling_seconds;
   stats.routing_seconds = decision.routing_seconds;
+  if (timeseries_ != nullptr) {
+    // Cumulative wall-CPU per stage; the sampler diffs these itself.
+    ts_select_cpu_ += decision.select_cpu_seconds;
+    ts_solve_cpu_ += decision.solve_cpu_seconds;
+    ts_merge_cpu_ += decision.merge_cpu_seconds;
+  }
   if ((options_.measure_delays || options_.model_decision_latency) &&
       !active_agent_dcs_.empty()) {
     stats.feedback_delay =
@@ -725,6 +810,9 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
   // incidence insertion and dirty marking until commit and then runs a
   // single reallocation pass over the union of dirty components.
   sim_.BeginBatch();
+  telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
+  const bool fr_on = fr.active();
+  const char* rung_name = DegradationRungName(static_cast<DegradationRung>(stats.rung));
   for (TransferAssignment& a : decision.transfers) {
     if (push_dropped(a.dst_server)) {
       continue;
@@ -737,6 +825,10 @@ SimTime BdsController::RunCentralizedCycle(SimTime now, CycleStats& stats) {
     }
     for (int64_t b : a.blocks) {
       in_flight_.insert(DeliveryKey{a.job, b, dest_dc});
+    }
+    if (fr_on) {
+      fr.Schedule(a.job, sim_.now(), stats.cycle, rung_name, a.src_server, a.dst_server, a.rate,
+                  static_cast<int64_t>(a.blocks.size()));
     }
     transfers_.emplace(tag, CtrlTransfer{std::move(a), dest_dc, *flow});
     ++stats.transfers_started;
@@ -759,6 +851,15 @@ void BdsController::RecordDelivery(JobId job, ServerId dest_server, SimTime now)
     ++jobs_completed_total_;
     const MulticastJob* mj = state_.FindJob(job);
     const double duration = now - (mj != nullptr ? mj->arrival_time : 0.0);
+    {
+      telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
+      if (fr.active()) {
+        fr.Completion(job, now, duration);
+      }
+      if (timeseries_ != nullptr) {
+        timeseries_->ObserveCompletion(now, duration);
+      }
+    }
     completion_durations_.Add(duration);
     completion_digest_ = MixU64(completion_digest_, static_cast<uint64_t>(job));
     completion_digest_ = MixDoubleU64(completion_digest_, duration);
@@ -790,6 +891,12 @@ void BdsController::RetireCompleted() {
       Status vs = view_->RetireJob(job);
       BDS_CHECK_MSG(vs.ok(), vs.ToString().c_str());
     }
+    {
+      telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
+      if (fr.active()) {
+        fr.Retire(job, sim_.now());
+      }
+    }
     job_completion_.erase(job);
   }
   retirable_.resize(keep);
@@ -809,9 +916,13 @@ void BdsController::OnFlowComplete(const FlowRecord& record) {
   CtrlTransfer t = std::move(it->second);
   transfers_.erase(it);
   int64_t before = state_.total_credited();
+  telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
   for (int64_t b : t.assignment.blocks) {
     in_flight_.erase(DeliveryKey{t.assignment.job, b, t.dest_dc});
     if (fault_.DrawBlockCorrupted()) {
+      if (fr.active()) {
+        fr.FaultHit(t.assignment.job, sim_.now(), "block_corrupted", b);
+      }
       continue;  // Failed checksum verification: stays pending, rescheduled.
     }
     (void)state_.NoteDelivery(t.assignment.job, b, t.assignment.src_server,
@@ -837,6 +948,30 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
   telemetry::MetricsSnapshot telemetry_at_entry;
   if (telemetry::Enabled()) {
     telemetry_at_entry = telemetry::MetricsRegistry::Global().Snapshot();
+  }
+
+  // Flow-rate changepoints for the flight recorder: the simulator calls the
+  // observer from the single rate-assignment site, pre-filtered by relative
+  // change, so the recorder only sees material reallocations of centralized
+  // transfers. Observing never mutates simulation state.
+  if (telemetry::FlightRecorder::Global().active()) {
+    sim_.SetRateObserver(
+        [this](int64_t tag, int64_t tag2, SimTime t, Rate old_rate, Rate new_rate) {
+          if (!telemetry::FlightRecorder::Global().WantsRateEvents()) {
+            return false;  // Budget spent: the simulator drops the observer.
+          }
+          if (tag2 != 0) {
+            return true;  // Fallback/background flows are not journaled transfers.
+          }
+          auto it = transfers_.find(tag);
+          if (it == transfers_.end()) {
+            return true;
+          }
+          telemetry::FlightRecorder::Global().RateChange(it->second.assignment.job, t, old_rate,
+                                                         new_rate);
+          return true;
+        },
+        telemetry::FlightRecorder::Global().options().min_relative_rate_change);
   }
 
   if (fault_.stale_reports_enabled() && view_ == nullptr) {
@@ -885,6 +1020,25 @@ StatusOr<RunReport> BdsController::Run(SimTime deadline) {
     BDS_RETURN_IF_ERROR(sim_.AdvanceBy(std::max(0.0, std::min(dt, deadline - now) - lead)));
     stats.blocks_delivered = deliveries_this_cycle_;
     admission_.ObserveCycle(deliveries_this_cycle_, had_backlog);
+    if (timeseries_ != nullptr) {
+      telemetry::SloSampleInput in;
+      in.active_flows = static_cast<int64_t>(sim_.num_active_flows());
+      in.pending_blocks = state_.num_pending();
+      in.rung = stats.rung;
+      const AdmissionStats& as = admission_.stats();
+      in.offered = as.offered;
+      in.accepted = as.accepted;
+      in.rejected = as.rejected;
+      in.deferred = as.deferred;
+      in.select_cpu_seconds = ts_select_cpu_;
+      in.solve_cpu_seconds = ts_solve_cpu_;
+      in.merge_cpu_seconds = ts_merge_cpu_;
+      in.link_utilization.reserve(timeseries_links_.size());
+      for (LinkId l : timeseries_links_) {
+        in.link_utilization.push_back(sim_.LinkUtilization(l));
+      }
+      timeseries_->SampleUpTo(sim_.now(), in);
+    }
     if (options_.validate_invariants) {
       double overshoot = sim_.MaxCapacityViolation();
       report.max_link_overshoot =

@@ -42,6 +42,7 @@
 #include "src/scheduler/replica_state.h"
 #include "src/simulator/network_simulator.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/timeseries.h"
 #include "src/topology/routing.h"
 #include "src/topology/topology.h"
 #include "src/workload/arrival_process.h"
@@ -207,8 +208,17 @@ class BdsController {
   // time passes, until NextArrivalTime() reaches `stop_time`.
   void SetArrivalProcess(ArrivalProcess* arrivals, SimTime stop_time);
 
+  // SLO time-series sampler (src/telemetry/timeseries.h): fixed simulated-Δt
+  // samples of service health plus the burn-rate alert detector. Pure
+  // observation — fingerprints are bit-identical with it on or off. The
+  // tracked links are the max_tracked_links highest-capacity WAN links
+  // (deterministic tie-break by link id).
+  Status ConfigureTimeseries(const telemetry::TimeseriesOptions& options);
+
   const CycleWatchdog& watchdog() const { return watchdog_; }
   const AdmissionController& admission() const { return admission_; }
+  // Null until ConfigureTimeseries enables it.
+  const telemetry::SloTimeseries* timeseries() const { return timeseries_.get(); }
 
   // Injected link / control-plane / data-plane faults; configure before
   // Run() (see src/fault/fault_injector.h).
@@ -275,8 +285,9 @@ class BdsController {
   // (> 0 only with model_decision_latency).
   SimTime RunCentralizedCycle(SimTime now, CycleStats& stats);
   // Cancels the transfer behind `tag`, credits whole delivered blocks, and
-  // returns the rest to pending.
-  void CancelAndCredit(int64_t tag);
+  // returns the rest to pending. `reason` is a static string for the flight
+  // recorder ("stalled", "link_down", ...).
+  void CancelAndCredit(int64_t tag, const char* reason);
   void OnFlowComplete(const FlowRecord& record);
   void RecordDelivery(JobId job, ServerId dest_server, SimTime now);
 
@@ -329,6 +340,13 @@ class BdsController {
   // --- Long-running service mode. ---
   CycleWatchdog watchdog_;
   AdmissionController admission_;
+  std::unique_ptr<telemetry::SloTimeseries> timeseries_;
+  std::vector<LinkId> timeseries_links_;  // Tracked WAN links, fixed order.
+  // Cumulative per-phase CPU handed to the sampler (wall-derived; excluded
+  // from every fingerprint, like RunReport::telemetry).
+  double ts_select_cpu_ = 0.0;
+  double ts_solve_cpu_ = 0.0;
+  double ts_merge_cpu_ = 0.0;
   ArrivalProcess* open_arrivals_ = nullptr;  // Not owned.
   SimTime arrivals_stop_ = 0.0;
   std::deque<MulticastJob> deferred_jobs_;

@@ -119,6 +119,7 @@ StatusOr<SteadyStateReport> BdsService::RunSteadyState(const SteadyStateOptions&
   controller_->ConfigureAdmission(options.admission);
   controller_->ConfigureRetirement(options.retire_completed, options.completed_flow_history,
                                    options.max_cycle_stats);
+  BDS_RETURN_IF_ERROR(controller_->ConfigureTimeseries(options.timeseries));
   controller_->SetArrivalProcess(&arrivals, options.duration);
 
   const SimTime deadline = options.duration + (options.drain ? options.drain_limit : 0.0);
@@ -158,6 +159,15 @@ StatusOr<SteadyStateReport> BdsService::RunSteadyState(const SteadyStateOptions&
   report.live_jobs_at_end = controller_->state().num_live_jobs();
   report.live_pending_at_end = controller_->state().num_pending();
   report.dropped_flow_records = controller_->simulator().dropped_flow_records();
+  if (const telemetry::SloTimeseries* ts = controller_->timeseries(); ts != nullptr) {
+    report.timeseries_samples = ts->samples();
+    report.burn_fast_at_end = ts->burn_fast();
+    report.burn_slow_at_end = ts->burn_slow();
+    report.slo_alerts = ts->alerts();
+    if (!options.timeseries.jsonl_path.empty()) {
+      BDS_RETURN_IF_ERROR(ts->WriteJsonl(options.timeseries.jsonl_path));
+    }
+  }
   return report;
 }
 

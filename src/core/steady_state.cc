@@ -16,6 +16,7 @@ Status ValidateSteadyStateOptions(const SteadyStateOptions& options) {
   if (options.max_cycle_stats < 0) {
     return InvalidArgumentError("RunSteadyState: max_cycle_stats must be >= 0");
   }
+  BDS_RETURN_IF_ERROR(telemetry::ValidateTimeseriesOptions(options.timeseries));
   return Status::Ok();
 }
 
@@ -73,6 +74,20 @@ std::string SteadyStateReport::ToString() const {
                 static_cast<long long>(live_jobs_at_end),
                 static_cast<long long>(live_pending_at_end));
   os << buf;
+  if (timeseries_samples > 0) {
+    int64_t active = 0;
+    for (const telemetry::SloAlert& a : slo_alerts) {
+      if (a.active()) {
+        ++active;
+      }
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "slo: samples=%lld alerts=%lld (active=%lld) burn_fast=%.2f burn_slow=%.2f\n",
+                  static_cast<long long>(timeseries_samples),
+                  static_cast<long long>(slo_alerts.size()), static_cast<long long>(active),
+                  burn_fast_at_end, burn_slow_at_end);
+    os << buf;
+  }
   return os.str();
 }
 

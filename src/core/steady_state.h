@@ -20,6 +20,7 @@
 #include "src/control/controller.h"
 #include "src/control/overload.h"
 #include "src/scheduler/admission.h"
+#include "src/telemetry/timeseries.h"
 #include "src/workload/arrival_process.h"
 
 namespace bds {
@@ -47,6 +48,10 @@ struct SteadyStateOptions {
   bool retire_completed = true;
   int64_t completed_flow_history = 4096;
   int64_t max_cycle_stats = 2048;
+
+  // Simulated-time SLO sampler + burn-rate alerts (disabled by default;
+  // purely observational — never enters the Fingerprint).
+  telemetry::TimeseriesOptions timeseries;
 };
 
 struct SteadyStateReport {
@@ -82,6 +87,14 @@ struct SteadyStateReport {
   int64_t live_jobs_at_end = 0;
   int64_t live_pending_at_end = 0;
   int64_t dropped_flow_records = 0;
+
+  // SLO time-series outcome (only populated when options.timeseries.enabled).
+  // Deliberately OUTSIDE Fingerprint(): the sampler is observational and the
+  // CPU series it folds are wall-clock-derived.
+  int64_t timeseries_samples = 0;
+  double burn_fast_at_end = 0.0;
+  double burn_slow_at_end = 0.0;
+  std::vector<telemetry::SloAlert> slo_alerts;
 
   // run.Fingerprint() extended with the transition log, admission counts,
   // and the generated-job count — the full determinism surface of a

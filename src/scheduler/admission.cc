@@ -18,23 +18,36 @@ void AdmissionController::ObserveCycle(int64_t blocks_delivered, bool had_backlo
 bool AdmissionController::OverBudget(int64_t job_deliveries, int64_t backlog_deliveries) const {
   const int64_t after = backlog_deliveries + job_deliveries;
   if (options_.max_backlog_deliveries > 0 && after > options_.max_backlog_deliveries) {
+    last_reason_ = "max_backlog_deliveries";
     return true;
   }
   if (observed_cycles_ < options_.bootstrap_cycles) {
+    last_reason_ = "bootstrap_optimism";
     return false;  // No reliable rate estimate yet; stay optimistic.
   }
   if (service_rate_ <= 0.0) {
     // A formed estimate of zero means backlogged cycles are draining
     // nothing; any addition is unservable.
+    last_reason_ = "zero_service_rate";
     return true;
   }
-  return static_cast<double>(after) / service_rate_ > options_.max_backlog_cycles;
+  if (static_cast<double>(after) / service_rate_ > options_.max_backlog_cycles) {
+    last_reason_ = "max_backlog_cycles";
+    return true;
+  }
+  last_reason_ = "under_budget";
+  return false;
 }
 
 AdmissionDecision AdmissionController::Admit(int64_t job_deliveries,
                                              int64_t backlog_deliveries) {
   ++stats_.offered;
-  if (!options_.enabled || !OverBudget(job_deliveries, backlog_deliveries)) {
+  if (!options_.enabled) {
+    last_reason_ = "disabled";
+    ++stats_.accepted;
+    return AdmissionDecision::kAccept;
+  }
+  if (!OverBudget(job_deliveries, backlog_deliveries)) {
     ++stats_.accepted;
     return AdmissionDecision::kAccept;
   }
@@ -47,7 +60,11 @@ AdmissionDecision AdmissionController::Admit(int64_t job_deliveries,
 
 AdmissionDecision AdmissionController::ReofferDeferred(int64_t job_deliveries,
                                                        int64_t backlog_deliveries) const {
-  if (!options_.enabled || !OverBudget(job_deliveries, backlog_deliveries)) {
+  if (!options_.enabled) {
+    last_reason_ = "disabled";
+    return AdmissionDecision::kAccept;
+  }
+  if (!OverBudget(job_deliveries, backlog_deliveries)) {
     return AdmissionDecision::kAccept;
   }
   return AdmissionDecision::kDefer;

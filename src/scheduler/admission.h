@@ -82,6 +82,13 @@ class AdmissionController {
   double estimated_service_rate() const { return service_rate_; }
   int64_t observed_cycles() const { return observed_cycles_; }
 
+  // Why the last Admit()/ReofferDeferred() verdict came out the way it did,
+  // as a static string for the flight recorder: "disabled", "under_budget",
+  // "bootstrap_optimism", "max_backlog_deliveries", "zero_service_rate", or
+  // "max_backlog_cycles". Purely observational — never feeds back into a
+  // decision.
+  const char* last_reason() const { return last_reason_; }
+
  private:
   // True when backlog + job exceeds the configured bounds.
   bool OverBudget(int64_t job_deliveries, int64_t backlog_deliveries) const;
@@ -90,6 +97,9 @@ class AdmissionController {
   AdmissionStats stats_;
   double service_rate_ = 0.0;     // Deliveries per cycle, EWMA.
   int64_t observed_cycles_ = 0;   // Backlogged cycles folded into the EWMA.
+  // Set by OverBudget/Admit (both reachable from const ReofferDeferred);
+  // mutable because it annotates the verdict rather than changing state.
+  mutable const char* last_reason_ = "disabled";
 };
 
 }  // namespace bds

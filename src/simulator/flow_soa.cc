@@ -37,6 +37,7 @@ int32_t FlowSoA::Allocate(FlowId flow_id, const LinkId* path, int32_t len) {
     start_time.push_back(0.0);
     tag.push_back(0);
     tag2.push_back(0);
+    reported_rate.push_back(0.0);
     path_cap_.push_back(len);
     live_.push_back(0);
     path_links.resize(path_links.size() + static_cast<size_t>(len));
@@ -56,6 +57,7 @@ int32_t FlowSoA::Allocate(FlowId flow_id, const LinkId* path, int32_t len) {
   start_time[s] = 0.0;
   tag[s] = 0;
   tag2[s] = 0;
+  reported_rate[s] = 0.0;
   live_[s] = 1;
   ++num_live_;
   return slot;
@@ -81,6 +83,7 @@ void FlowSoA::Clear() {
   start_time.clear();
   tag.clear();
   tag2.clear();
+  reported_rate.clear();
   path_links.clear();
   incidence_pos.clear();
   path_cap_.clear();
@@ -137,6 +140,7 @@ void FlowSoA::CompactAndReorder(const int32_t* order, int32_t n,
   HugeVector<SimTime> new_start;
   HugeVector<int64_t> new_tag;
   HugeVector<int64_t> new_tag2;
+  HugeVector<Rate> new_reported;
   HugeVector<LinkId> new_links;
   HugeVector<int32_t> new_pos;
   std::vector<int32_t> new_cap;
@@ -150,6 +154,7 @@ void FlowSoA::CompactAndReorder(const int32_t* order, int32_t n,
   new_start.reserve(un);
   new_tag.reserve(un);
   new_tag2.reserve(un);
+  new_reported.reserve(un);
   new_links.reserve(static_cast<size_t>(static_cast<int64_t>(path_links.size()) - arena_dead_));
   new_pos.reserve(new_links.capacity());
   new_cap.reserve(un);
@@ -166,6 +171,7 @@ void FlowSoA::CompactAndReorder(const int32_t* order, int32_t n,
     new_start.push_back(start_time[os]);
     new_tag.push_back(tag[os]);
     new_tag2.push_back(tag2[os]);
+    new_reported.push_back(reported_rate[os]);
     FlowMeta m = meta[os];
     int32_t begin = m.path.begin;
     m.path.begin = static_cast<int32_t>(new_links.size());
@@ -186,6 +192,7 @@ void FlowSoA::CompactAndReorder(const int32_t* order, int32_t n,
   start_time = std::move(new_start);
   tag = std::move(new_tag);
   tag2 = std::move(new_tag2);
+  reported_rate = std::move(new_reported);
   path_links = std::move(new_links);
   incidence_pos = std::move(new_pos);
   path_cap_ = std::move(new_cap);

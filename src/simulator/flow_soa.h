@@ -127,6 +127,12 @@ class FlowSoA {
   HugeVector<SimTime> start_time;
   HugeVector<int64_t> tag;
   HugeVector<int64_t> tag2;
+  // Rate last handed to the rate observer (0 until the first report). Only
+  // touched when an observer is installed; lets the changepoint test be a
+  // band check against precomputed semantics (see ReallocateComponent)
+  // instead of per-update fabs/max arithmetic, and makes slow drift
+  // reportable where a compare-to-previous test would sleep through it.
+  HugeVector<Rate> reported_rate;
 
   // --- Shared CSR arena. incidence_pos[i] is the position of path_links[i]
   // in LinkFlowIndex's per-link row (kept in sync by its swap-erase). ---

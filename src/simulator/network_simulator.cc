@@ -192,11 +192,11 @@ StatusOr<FlowId> NetworkSimulator::StartFlow(std::vector<LinkId> links, Bytes by
       MarkDirty(links[i]);
     }
   }
-  BDS_TELEMETRY_COUNT("sim.flows_started", 1);
-  telemetry::TraceInstant("sim.flow.start", "simulator",
-                          {{"flow", static_cast<double>(id)},
-                           {"bytes", bytes},
-                           {"links", static_cast<double>(links.size())}});
+  // No per-flow trace instant here: at 1e5+ concurrent flows it would both
+  // flood the ring (evicting the decision-level events) and pay a clock read
+  // per start — trace.h's granularity contract is per solver call, not per
+  // flow. sim.flows_started carries the count.
+  ++telem_flows_started_;
   return id;
 }
 
@@ -501,8 +501,20 @@ void NetworkSimulator::ReallocateComponent(LinkId seed) {
   allocator_.AllocateSubset(usable_capacity_, n, comp_off_.data(), comp_links_.data(),
                             comp_pinned_.data(), comp_rate_.data());
   ++num_reallocations_;
-  BDS_TELEMETRY_COUNT("sim.component_solves", 1);
-  BDS_TELEMETRY_HISTOGRAM("sim.component_flows", 0.0, 1024.0, 64, static_cast<double>(n));
+  ++telem_component_solves_;
+  {
+    // Same bin math as HistogramRecord for the [0, kCompHistMax) x
+    // kCompHistBins layout; n >= 1 so only the upper clamp can hit.
+    const double v = static_cast<double>(n);
+    int bin = static_cast<int>(v * (kCompHistBins / kCompHistMax));
+    bin = bin < kCompHistBins - 1 ? bin : kCompHistBins - 1;
+    ++telem_comp_hist_[bin];
+    ++telem_comp_count_;
+    telem_comp_sum_ += v;
+    if (v > telem_comp_max_) {
+      telem_comp_max_ = v;
+    }
+  }
   for (size_t i = 0; i < n; ++i) {
     size_t s = static_cast<size_t>(comp_slots_[i]);
     Rate new_rate = comp_rate_[i];
@@ -515,6 +527,19 @@ void NetworkSimulator::ReallocateComponent(LinkId seed) {
     soa_.anchor_time[s] = now_;
     soa_.current_rate[s] = new_rate;
     ++soa_.rate_epoch[s];
+    if (rate_observer_) {
+      // Band check against the last reported rate: with keep = 1 - rel and
+      // rates >= 0, |new - last| > rel * max(new, last) is exactly
+      // new*keep > last (rose past the band) or new < last*keep (fell past
+      // it). Two multiply-compares — no fabs/max — and both-zero never fires.
+      const Rate last = soa_.reported_rate[s];
+      if (new_rate * rate_observer_keep_ > last || new_rate < last * rate_observer_keep_) {
+        soa_.reported_rate[s] = new_rate;
+        if (!rate_observer_(soa_.tag[s], soa_.tag2[s], now_, last, new_rate)) {
+          rate_observer_ = nullptr;  // Observer declined further changepoints.
+        }
+      }
+    }
     for (int32_t j = comp_off_[i]; j < comp_off_[i + 1]; ++j) {
       IntegrateLink(comp_links_[static_cast<size_t>(j)]);
       link_rate_[static_cast<size_t>(comp_links_[static_cast<size_t>(j)])] +=
@@ -570,8 +595,8 @@ void NetworkSimulator::Reallocate() {
   telemetry::TraceInstant("sim.reallocate", "simulator",
                           {{"dirty_links", static_cast<double>(dirty_links_.size())},
                            {"active_flows", static_cast<double>(soa_.num_live())}});
-  BDS_TELEMETRY_COUNT("sim.reallocations", 1);
-  BDS_TELEMETRY_COUNT("sim.dirty_links", static_cast<int64_t>(dirty_links_.size()));
+  ++telem_reallocations_;
+  telem_dirty_links_ += static_cast<int64_t>(dirty_links_.size());
   if (full_realloc_) {
     // Reference mode: re-solve every component regardless of dirtiness.
     for (LinkId l = 0; l < topo_->num_links(); ++l) {
@@ -666,8 +691,8 @@ void NetworkSimulator::CompleteBatch(SimTime t) {
     EraseFlow(slot);
   }
   ++num_events_;
-  BDS_TELEMETRY_COUNT("sim.events", 1);
-  BDS_TELEMETRY_COUNT("sim.flows_completed", static_cast<int64_t>(batch_.size()));
+  ++telem_events_;
+  telem_flows_completed_ += static_cast<int64_t>(batch_.size());
   telemetry::TraceInstant("sim.complete_batch", "simulator",
                           {{"flows", static_cast<double>(batch_.size())},
                            {"sim_time", t}});
@@ -712,6 +737,7 @@ Status NetworkSimulator::AdvanceTo(SimTime t) {
     SimTime next = NextCompletionTime();
     if (next > t) {
       now_ = t;
+      PublishTelemetry();
       return Status::Ok();
     }
     now_ = next;
@@ -739,7 +765,35 @@ StatusOr<SimTime> NetworkSimulator::RunUntilIdle(SimTime deadline) {
     CompleteBatch(next);
   }
   SampleTrackedLinks();  // Series must end at the actual end time.
+  PublishTelemetry();
   return now_;
+}
+
+// Folds the hot-loop accumulators into the metrics registry. The per-event
+// cost model (DESIGN.md §11) wants plain increments inside the drain loop;
+// the registry's shard stores happen here, once per drive call.
+void NetworkSimulator::PublishTelemetry() {
+  BDS_TELEMETRY_COUNT("sim.flows_started", telem_flows_started_);
+  BDS_TELEMETRY_COUNT("sim.flows_completed", telem_flows_completed_);
+  BDS_TELEMETRY_COUNT("sim.events", telem_events_);
+  BDS_TELEMETRY_COUNT("sim.component_solves", telem_component_solves_);
+  BDS_TELEMETRY_COUNT("sim.reallocations", telem_reallocations_);
+  BDS_TELEMETRY_COUNT("sim.dirty_links", telem_dirty_links_);
+  if (telem_comp_count_ > 0) {
+    BDS_TELEMETRY_HISTOGRAM_BULK("sim.component_flows", 0.0, kCompHistMax, kCompHistBins,
+                                 telem_comp_hist_, telem_comp_count_, telem_comp_sum_,
+                                 telem_comp_max_);
+    std::fill(std::begin(telem_comp_hist_), std::end(telem_comp_hist_), int64_t{0});
+    telem_comp_count_ = 0;
+    telem_comp_sum_ = 0.0;
+    telem_comp_max_ = 0.0;
+  }
+  telem_flows_started_ = 0;
+  telem_flows_completed_ = 0;
+  telem_events_ = 0;
+  telem_component_solves_ = 0;
+  telem_reallocations_ = 0;
+  telem_dirty_links_ = 0;
 }
 
 Bytes NetworkSimulator::LinkBytesTransferred(LinkId link) const {

@@ -139,6 +139,28 @@ class NetworkSimulator {
   using CompletionCallback = std::function<void(const FlowRecord&)>;
   void SetCompletionCallback(CompletionCallback cb) { on_complete_ = std::move(cb); }
 
+  // Observes significant per-flow rate changepoints as reallocation applies
+  // them: invoked with the flow's tags, the current simulated time, the rate
+  // last reported for the flow, and the new rate. A change reports when
+  // |new - last_reported| > min_relative_change * max(new, last_reported)
+  // (so 0-to-nonzero and nonzero-to-0 always do) — comparing against the
+  // last *reported* rate rather than the immediately previous one means the
+  // per-update test is two multiply-compares against one cached value, and
+  // slow drift that never moves 25% in a single solve still reports once it
+  // accumulates. min_relative_change must be in (0, 1).
+  //
+  // The observer returns whether it wants more changepoints; returning false
+  // uninstalls it, so an observer whose downstream budget is spent (see
+  // FlightRecorder::WantsRateEvents) costs nothing afterwards. Null (the
+  // default) costs one branch per changed rate. The observer must only
+  // record — it must not touch the simulator.
+  using RateObserver = std::function<bool(int64_t tag, int64_t tag2, SimTime t,
+                                          Rate last_reported, Rate new_rate)>;
+  void SetRateObserver(RateObserver observer, double min_relative_change = 0.25) {
+    rate_observer_ = std::move(observer);
+    rate_observer_keep_ = 1.0 - min_relative_change;
+  }
+
   const std::vector<FlowRecord>& completed_flows() const { return completed_; }
 
   // Caps the completed-flow history kept in completed_flows() so a
@@ -310,7 +332,31 @@ class NetworkSimulator {
   int64_t num_reallocations_ = 0;
   int64_t num_events_ = 0;
 
+  // Telemetry accumulators: the event loop bumps plain members and
+  // PublishTelemetry() folds them into the registry once per drive call
+  // (AdvanceTo / RunUntilIdle), so the per-event telemetry cost is a plain
+  // increment rather than a registry call (DESIGN.md §11 cost model).
+  void PublishTelemetry();
+  int64_t telem_flows_started_ = 0;
+  int64_t telem_flows_completed_ = 0;
+  int64_t telem_events_ = 0;
+  int64_t telem_component_solves_ = 0;
+  int64_t telem_reallocations_ = 0;
+  int64_t telem_dirty_links_ = 0;
+  // Local accumulator for the sim.component_flows histogram ([0, 1024), 64
+  // bins — the bin math in ReallocateComponent must match this layout),
+  // published via HistogramRecordBulk so a solve costs plain increments
+  // instead of a per-sample shard walk.
+  static constexpr int kCompHistBins = 64;
+  static constexpr double kCompHistMax = 1024.0;
+  int64_t telem_comp_hist_[kCompHistBins] = {};
+  int64_t telem_comp_count_ = 0;
+  double telem_comp_sum_ = 0.0;
+  double telem_comp_max_ = 0.0;
+
   CompletionCallback on_complete_;
+  RateObserver rate_observer_;
+  double rate_observer_keep_ = 0.75;  // 1 - min_relative_change.
   std::vector<FlowRecord> completed_;
   int64_t completed_history_limit_ = -1;
   int64_t dropped_flow_records_ = 0;

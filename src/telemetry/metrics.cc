@@ -256,6 +256,30 @@ void MetricsRegistry::HistogramRecord(HistogramHandle h, double value) {
   }
 }
 
+void MetricsRegistry::HistogramRecordBulk(HistogramHandle h, const int64_t* bin_counts,
+                                          int num_bins, int64_t count, double sum,
+                                          double max_seen) {
+  if (!h.valid() || count <= 0) {
+    return;
+  }
+  const Impl::HistParams& p = impl_->hist_params[h.id];
+  Shard::HistShard& hs = ShardForThisThread()->hists[h.id];
+  const int n = num_bins < p.bins ? num_bins : p.bins;
+  for (int i = 0; i < n; ++i) {
+    if (bin_counts[i] != 0) {
+      std::atomic<int64_t>& cell = hs.bins[i];
+      cell.store(cell.load(std::memory_order_relaxed) + bin_counts[i],
+                 std::memory_order_relaxed);
+    }
+  }
+  hs.count.store(hs.count.load(std::memory_order_relaxed) + count,
+                 std::memory_order_relaxed);
+  hs.sum.store(hs.sum.load(std::memory_order_relaxed) + sum, std::memory_order_relaxed);
+  if (max_seen > hs.max.load(std::memory_order_relaxed)) {
+    hs.max.store(max_seen, std::memory_order_relaxed);
+  }
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard<std::mutex> lock(impl_->mu);

@@ -119,6 +119,16 @@ class MetricsRegistry {
   void CounterAdd(CounterHandle h, int64_t delta);
   void GaugeSet(GaugeHandle h, double value);
   void HistogramRecord(HistogramHandle h, double value);
+  // Folds a locally-accumulated histogram into the thread's shard in one
+  // call: bin_counts[0..num_bins) are per-bin increments (bins past the
+  // histogram's layout are ignored), count/sum/max_seen update the summary
+  // fields. This is the histogram analogue of the accumulate-then-publish
+  // counter pattern (telemetry.h): a hot loop records into a plain local
+  // array — the caller computes bins with the same clamp as HistogramRecord
+  // — and publishes once per drive call instead of paying the shard walk
+  // per sample.
+  void HistogramRecordBulk(HistogramHandle h, const int64_t* bin_counts, int num_bins,
+                           int64_t count, double sum, double max_seen);
 
   // Merges every live shard and all retired-thread totals into a snapshot.
   // Safe to call concurrently with updates (relaxed reads: the snapshot is a

@@ -99,6 +99,20 @@ class ScopedTimer {
     }                                                                                 \
   } while (0)
 
+// Publishes a locally-accumulated histogram (see HistogramRecordBulk): the
+// caller owns the bin array and the count/sum/max scalars and calls this once
+// per drive call, not per sample. Layout args must match the accumulation.
+#define BDS_TELEMETRY_HISTOGRAM_BULK(name, lo, hi, bins, bin_counts, count, sum, max_seen) \
+  do {                                                                                \
+    if (::bds::telemetry::Enabled()) {                                                \
+      static const ::bds::telemetry::HistogramHandle bds_telemetry_handle =           \
+          ::bds::telemetry::MetricsRegistry::Global().RegisterHistogram(name, (lo),   \
+                                                                        (hi), (bins)); \
+      ::bds::telemetry::MetricsRegistry::Global().HistogramRecordBulk(                \
+          bds_telemetry_handle, (bin_counts), (bins), (count), (sum), (max_seen));    \
+    }                                                                                 \
+  } while (0)
+
 // Times the rest of the enclosing scope into the latency histogram `name`
 // (milliseconds) and emits a trace span when recording. `name` must be a
 // string literal.

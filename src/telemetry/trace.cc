@@ -83,19 +83,47 @@ struct TraceRecorder::Impl {
     TraceArg args[kMaxArgs];
   };
 
+  // The mutex guards control-plane operations only (Start / Clear / export).
+  // The append path is lock-free: one relaxed claim on `next` either lands
+  // the event in a pre-sized slot or counts as a drop — the recorder sits on
+  // the simulator's per-event path, where a mutex pair per instant is
+  // measurable. Exports and size/dropped reads are exact once writer threads
+  // are quiescent (joined or stopped), the same contract metric snapshots
+  // already carry.
   mutable std::mutex mu;
-  std::vector<Event> ring;  // Bounded by `capacity`; append-only until full.
-  size_t capacity = 0;
-  size_t dropped = 0;
-  int64_t origin_ns = 0;
+  std::vector<Event> ring;  // Pre-sized to `capacity` by Start().
+  int64_t capacity = 0;
+  std::atomic<int64_t> next{0};  // Slots claimed; anything past capacity dropped.
+  std::atomic<int64_t> origin_ns{0};
 
   void Append(const Event& event) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (ring.size() >= capacity) {
-      ++dropped;
+    int64_t idx = next.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= capacity) {
       return;
     }
-    ring.push_back(event);
+    ring[static_cast<size_t>(idx)] = event;
+  }
+
+  // Claims a drop slot if the ring is already full, so callers can skip the
+  // clock read and event construction for an event that cannot land. The
+  // load-then-add is racy only against other drops: Append's own bound check
+  // is what guarantees no slot is written twice.
+  bool DropIfFull() {
+    if (next.load(std::memory_order_relaxed) >= capacity) {
+      next.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  int64_t buffered() const {
+    int64_t n = next.load(std::memory_order_relaxed);
+    return n < capacity ? n : capacity;
+  }
+
+  int64_t num_dropped() const {
+    int64_t n = next.load(std::memory_order_relaxed) - capacity;
+    return n > 0 ? n : 0;
   }
 };
 
@@ -109,11 +137,10 @@ TraceRecorder& TraceRecorder::Global() {
 void TraceRecorder::Start(size_t capacity) {
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->ring.clear();
-    impl_->ring.reserve(capacity);
-    impl_->capacity = capacity;
-    impl_->dropped = 0;
-    impl_->origin_ns = SteadyNowNs();
+    impl_->ring.assign(capacity, Impl::Event{});
+    impl_->capacity = static_cast<int64_t>(capacity);
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->origin_ns.store(SteadyNowNs(), std::memory_order_relaxed);
   }
   active_.store(true, std::memory_order_relaxed);
   SetEnabled(true);
@@ -122,18 +149,23 @@ void TraceRecorder::Start(size_t capacity) {
 void TraceRecorder::Stop() { active_.store(false, std::memory_order_relaxed); }
 
 int64_t TraceRecorder::NowNs() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return SteadyNowNs() - impl_->origin_ns;
+  return SteadyNowNs() - impl_->origin_ns.load(std::memory_order_relaxed);
 }
 
 void TraceRecorder::Instant(const char* name, const char* category,
                             std::initializer_list<TraceArg> args) {
+  // Check for a full ring before reading the clock: once the ring fills, a
+  // long run's remaining instants would otherwise each pay a steady_clock
+  // read just to be dropped.
+  if (!active() || impl_->DropIfFull()) {
+    return;
+  }
   Complete(name, category, NowNs(), /*dur_ns=*/0, args);
 }
 
 void TraceRecorder::Complete(const char* name, const char* category, int64_t ts_ns,
                              int64_t dur_ns, std::initializer_list<TraceArg> args) {
-  if (!active()) {
+  if (!active() || impl_->DropIfFull()) {
     return;
   }
   Impl::Event event;
@@ -153,20 +185,15 @@ void TraceRecorder::Complete(const char* name, const char* category, int64_t ts_
   impl_->Append(event);
 }
 
-size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->ring.size();
-}
+size_t TraceRecorder::size() const { return static_cast<size_t>(impl_->buffered()); }
 
 size_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->dropped;
+  return static_cast<size_t>(impl_->num_dropped());
 }
 
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->ring.clear();
-  impl_->dropped = 0;
+  impl_->next.store(0, std::memory_order_relaxed);
 }
 
 Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
@@ -174,12 +201,12 @@ Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     os << "{\"traceEvents\":[";
-    bool first = true;
-    for (const Impl::Event& event : impl_->ring) {
-      if (!first) {
+    const int64_t n = impl_->buffered();
+    for (int64_t i = 0; i < n; ++i) {
+      const Impl::Event& event = impl_->ring[static_cast<size_t>(i)];
+      if (i > 0) {
         os << ",\n";
       }
-      first = false;
       os << "{\"name\":";
       AppendJsonString(os, event.name);
       os << ",\"cat\":";
@@ -209,8 +236,8 @@ Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
       }
       os << "}";
     }
-    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":" << impl_->dropped
-       << "}}";
+    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+       << impl_->num_dropped() << "}}";
   }
   return WriteFile(path, os.str());
 }
@@ -220,8 +247,8 @@ Status TraceRecorder::WriteRunSummary(const std::string& path,
   std::ostringstream os;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
-    os << "{\"kind\":\"meta\",\"trace_events\":" << impl_->ring.size()
-       << ",\"dropped_events\":" << impl_->dropped << "}\n";
+    os << "{\"kind\":\"meta\",\"trace_events\":" << impl_->buffered()
+       << ",\"dropped_events\":" << impl_->num_dropped() << "}\n";
   }
   for (const auto& c : snapshot.counters) {
     os << "{\"kind\":\"counter\",\"name\":";

@@ -2,11 +2,12 @@
 // exported as Chrome `trace_event` JSON (load into chrome://tracing or
 // https://ui.perfetto.dev) plus a JSONL run summary.
 //
-// Events are cheap (one mutex acquisition + a few stores) but not free, so
-// instrumentation emits them at decision granularity — one per cycle, per
-// solver call, per fault — never per hot-loop iteration. When the ring
-// fills, new events are dropped and counted; exports carry the drop count so
-// a truncated trace is never mistaken for a complete one.
+// Events are cheap (a lock-free slot claim + a few stores; no mutex on the
+// append path) but not free, so instrumentation emits them at decision
+// granularity — one per cycle, per solver call, per fault — never per
+// hot-loop iteration. When the ring fills, new events are dropped and
+// counted; exports carry the drop count so a truncated trace is never
+// mistaken for a complete one.
 //
 // Determinism contract: the recorder only observes. Timestamps come from a
 // steady clock and go only into trace output, never into simulation state or
@@ -35,7 +36,12 @@ struct TraceArg {
 
 class TraceRecorder {
  public:
-  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+  // 16Ki events (~1.3 MB). Sized by the telemetry_overhead gate: the ring is
+  // streamed cold during a drain, so its footprint is cache it steals from
+  // the simulator — at decision granularity 16Ki slots still cover thousands
+  // of cycles before the drop counter starts, and a run that needs more can
+  // pass an explicit capacity to Start().
+  static constexpr size_t kDefaultCapacity = size_t{1} << 14;
   static constexpr int kMaxArgs = 4;
 
   static TraceRecorder& Global();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace bds {
@@ -261,6 +262,61 @@ TEST(HistogramTest, MergeWithEmptyAndSelf) {
   EXPECT_EQ(a.total(), 4);
   EXPECT_EQ(a.BinCount(0), 2);
   EXPECT_EQ(a.BinCount(4), 2);
+}
+
+TEST(HistogramTest, QuantileEmptyReturnsRangeFloor) {
+  Histogram h(5.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5.0);
+}
+
+TEST(HistogramTest, QuantileSingleSampleAndSingleBin) {
+  Histogram one(0.0, 10.0, 5);
+  one.Add(3.0);  // bin 1 = [2, 4)
+  EXPECT_DOUBLE_EQ(one.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 3.0);
+
+  Histogram single(0.0, 8.0, 1);
+  single.Add(1.0);
+  single.Add(7.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(1.0), 8.0);
+}
+
+TEST(HistogramTest, QuantileClampsOutOfRangeAndNanQ) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+  const double nan_q = h.Quantile(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(nan_q, h.Quantile(0.0));
+}
+
+TEST(HistogramTest, QuantileTopCapsAtLastOccupiedBin) {
+  // Every sample lives in bin 1 of [0, 100): q=1 must answer with that bin's
+  // high edge, not the histogram ceiling 60 bins further up.
+  Histogram h(0.0, 100.0, 50);
+  for (int i = 0; i < 9; ++i) {
+    h.Add(3.0);  // bin 1 = [2, 4)
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+  EXPECT_LE(h.Quantile(0.999), 4.0);
+}
+
+TEST(HistogramTest, QuantileMonotoneInQ) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(std::fmod(i * 0.37, 10.0));
+  }
+  double prev = h.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-9; q += 0.05) {
+    double v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
 }
 
 TEST(HistogramDeathTest, MergeRejectsMismatchedShape) {

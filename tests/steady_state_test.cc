@@ -164,6 +164,40 @@ TEST(SteadyStateSoakTest, FingerprintAndLadderIdenticalAcrossThreadsAndShards) {
   }
 }
 
+TEST(SteadyStateSoakTest, BurnRateAlertsFireUnderOverloadOnly) {
+  // The SLO time-series acceptance pair: the ~1.5x-knee overload rig must
+  // surface at least one burn-rate alert in the report (completions blow the
+  // 30-minute SLO wholesale once the backlog saturates), while a comfortably
+  // underloaded run with the same sampler must stay quiet.
+  auto run = [](bool overloaded) {
+    auto service = BdsService::Create(SoakTopology(), ServiceOptions()).value();
+    SteadyStateOptions steady = SoakOptions(/*duration=*/6.0 * 3600.0);
+    if (!overloaded) {
+      steady.arrivals.pattern = ArrivalPattern::kPoisson;
+      steady.arrivals.jobs_per_hour = 240.0;
+      steady.overload.enabled = false;
+    }
+    steady.timeseries.enabled = true;
+    steady.timeseries.sample_dt = 60.0;
+    auto report = service->RunSteadyState(steady);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? *report : SteadyStateReport{};
+  };
+
+  SteadyStateReport hot = run(/*overloaded=*/true);
+  SCOPED_TRACE(hot.ToString());
+  EXPECT_GT(hot.timeseries_samples, 0);
+  ASSERT_GE(hot.slo_alerts.size(), 1u);
+  EXPECT_GT(hot.slo_alerts[0].burn_fast, 2.0);
+  EXPECT_GT(hot.slo_alerts[0].burn_slow, 2.0);
+
+  SteadyStateReport calm = run(/*overloaded=*/false);
+  SCOPED_TRACE(calm.ToString());
+  EXPECT_GT(calm.timeseries_samples, 0);
+  EXPECT_EQ(calm.slo_alerts.size(), 0u);
+  EXPECT_EQ(calm.burn_fast_at_end, 0.0);
+}
+
 TEST(SteadyStateSoakTest, ChaosReplicaFailoverSoakCompletes) {
   // Draw a chaos plan that definitely contains controller-replica
   // fail/recover events (probing seeds against a scratch injector leaves the

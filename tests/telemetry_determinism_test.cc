@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/core/service.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
 #include "src/topology/builders.h"
 
@@ -94,6 +95,108 @@ TEST(TelemetryDeterminismTest, InstrumentedSubsystemsAllReport) {
   EXPECT_GT(solve_timer->hist.total(), 0);
   // The trace recorder saw structured events from the same run.
   EXPECT_GT(telemetry::TraceRecorder::Global().size(), 0u);
+}
+
+struct SteadyRunResult {
+  uint64_t fingerprint = 0;
+  uint64_t transition_digest = 0;
+  std::vector<RungTransition> transitions;
+  int64_t jobs_completed = 0;
+  int64_t timeseries_samples = 0;
+  size_t recorder_journals = 0;
+};
+
+// Chaos-faulted steady-state run with EVERY telemetry subsystem engaged —
+// metrics registry, trace recorder, flight recorder, and the SLO sampler —
+// versus the same run with all of them off. The flight recorder hooks sit on
+// the controller's admission/schedule/cancel paths and on the simulator's
+// rate-reallocation epilogue, so this is the strongest observer-effect test
+// the repo has: faults fire, admission rejects, the ladder degrades, and the
+// journals record all of it without perturbing one bit of the outcome.
+SteadyRunResult RunSteadyOnce(bool all_telemetry_on) {
+  if (all_telemetry_on) {
+    telemetry::MetricsRegistry::Global().Reset();
+    telemetry::TraceRecorder::Global().Start();
+    telemetry::FlightRecorder::Global().Start();
+  } else {
+    telemetry::TraceRecorder::Global().Stop();
+    telemetry::FlightRecorder::Global().Stop();
+    telemetry::SetEnabled(false);
+  }
+
+  BdsOptions options;
+  options.block_size = MB(2.0);
+  options.cycle_length = 3.0;
+  options.validate_invariants = true;
+  options.seed = 7;
+  Topology topo =
+      BuildFullMesh(4, 1, MBps(1.0), MBps(4.0), MBps(4.0)).value();
+  auto service = BdsService::Create(std::move(topo), options).value();
+  EXPECT_TRUE(service->InstallChaos(/*seed=*/21).ok());
+
+  SteadyStateOptions steady;
+  steady.duration = Hours(2.0);
+  steady.drain = true;
+  steady.drain_limit = Hours(1.0);
+  steady.arrivals.pattern = ArrivalPattern::kBursty;
+  steady.arrivals.jobs_per_hour = 1800.0;
+  steady.arrivals.burst_factor = 4.0;
+  steady.arrivals.burst_fraction = 0.2;
+  steady.arrivals.mean_burst_seconds = 600.0;
+  steady.arrivals.size_scale = 2e-6;
+  steady.arrivals.seed = 99;
+  steady.admission.enabled = true;
+  steady.admission.policy = AdmissionPolicy::kReject;
+  steady.admission.max_backlog_cycles = 30.0;
+  steady.admission.bootstrap_cycles = 8;
+  steady.overload.enabled = true;
+  steady.overload.cost.base_seconds = 1e-4;
+  steady.overload.cost.per_pending_seconds = 1.2e-2;
+  steady.overload.recover_cycles = 5;
+  // The sampler runs only in the instrumented configuration; it must still
+  // not shift the fingerprint.
+  steady.timeseries.enabled = all_telemetry_on;
+  steady.timeseries.sample_dt = 30.0;
+
+  SteadyRunResult out;
+  auto report = service->RunSteadyState(steady);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (report.ok()) {
+    out.fingerprint = report->Fingerprint();
+    out.transition_digest = report->transition_digest;
+    out.transitions = report->transitions;
+    out.jobs_completed = report->jobs_completed;
+    out.timeseries_samples = report->timeseries_samples;
+  }
+  out.recorder_journals = telemetry::FlightRecorder::Global().num_transfers();
+
+  telemetry::TraceRecorder::Global().Stop();
+  telemetry::FlightRecorder::Global().Stop();
+  telemetry::SetEnabled(false);
+  return out;
+}
+
+TEST(TelemetryDeterminismTest, ChaosSteadyStateFingerprintParityAllOnVsAllOff) {
+  SteadyRunResult off = RunSteadyOnce(/*all_telemetry_on=*/false);
+  SteadyRunResult on = RunSteadyOnce(/*all_telemetry_on=*/true);
+
+  // Bitwise-identical outcome: fingerprint covers the run report, the
+  // transition log, admission counts, and generated jobs.
+  EXPECT_EQ(off.fingerprint, on.fingerprint);
+  EXPECT_EQ(off.transition_digest, on.transition_digest);
+  ASSERT_EQ(off.transitions.size(), on.transitions.size());
+  for (size_t i = 0; i < off.transitions.size(); ++i) {
+    EXPECT_TRUE(off.transitions[i] == on.transitions[i]) << "transition " << i;
+  }
+  EXPECT_EQ(off.jobs_completed, on.jobs_completed);
+
+  // The instrumented run really observed the system; the bare run recorded
+  // nothing.
+  EXPECT_GT(on.jobs_completed, 0);
+  EXPECT_GT(on.timeseries_samples, 0);
+  EXPECT_GT(on.recorder_journals, 0u);
+  EXPECT_EQ(off.timeseries_samples, 0);
+  EXPECT_EQ(off.recorder_journals, 0u);
 }
 
 TEST(TelemetryDeterminismTest, TelemetrySnapshotExcludedFromFingerprint) {

@@ -1,0 +1,388 @@
+// Unit tests for the SLO time-series sampler (ring wraparound, burn-rate
+// alert fire/clear hysteresis, option validation, JSONL export) and for the
+// flight recorder's deterministic retention policy (interesting journals
+// survive eviction; every cap is counted, never silent).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/timeseries.h"
+
+namespace bds {
+namespace telemetry {
+namespace {
+
+TEST(RingSeriesTest, FillsThenWrapsOldestFirst) {
+  RingSeries ring(4);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.Latest(), 0.0);
+
+  for (int i = 0; i < 4; ++i) {
+    ring.Push(static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 0);
+  EXPECT_EQ(ring.first_index(), 0);
+  EXPECT_EQ(ring.at(0), 0.0);
+  EXPECT_EQ(ring.at(3), 3.0);
+
+  // Two more pushes overwrite the two oldest; at(0) is now value 2.
+  ring.Push(4.0);
+  ring.Push(5.0);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 6);
+  EXPECT_EQ(ring.dropped(), 2);
+  EXPECT_EQ(ring.first_index(), 2);
+  EXPECT_EQ(ring.at(0), 2.0);
+  EXPECT_EQ(ring.at(1), 3.0);
+  EXPECT_EQ(ring.at(2), 4.0);
+  EXPECT_EQ(ring.at(3), 5.0);
+  EXPECT_EQ(ring.Latest(), 5.0);
+}
+
+TEST(RingSeriesTest, TailSumClampsAndTracksNewest) {
+  RingSeries ring(3);
+  ring.Push(1.0);
+  ring.Push(2.0);
+  EXPECT_EQ(ring.TailSum(1), 2.0);
+  EXPECT_EQ(ring.TailSum(2), 3.0);
+  EXPECT_EQ(ring.TailSum(10), 3.0);  // Clamped to size().
+  ring.Push(3.0);
+  ring.Push(4.0);  // Evicts the 1.0.
+  EXPECT_EQ(ring.TailSum(3), 9.0);
+  EXPECT_EQ(ring.TailSum(2), 7.0);
+}
+
+TEST(TimeseriesOptionsTest, ValidatorAcceptsDefaultsWhenEnabled) {
+  TimeseriesOptions o;
+  o.enabled = true;
+  EXPECT_TRUE(ValidateTimeseriesOptions(o).ok());
+  // Disabled options validate regardless of garbage values.
+  TimeseriesOptions off;
+  off.sample_dt = -1.0;
+  EXPECT_TRUE(ValidateTimeseriesOptions(off).ok());
+}
+
+TEST(TimeseriesOptionsTest, ValidatorRejectsBadShapes) {
+  auto enabled = [] {
+    TimeseriesOptions o;
+    o.enabled = true;
+    return o;
+  };
+  auto expect_bad = [](TimeseriesOptions o) {
+    EXPECT_FALSE(ValidateTimeseriesOptions(o).ok());
+  };
+
+  {
+    auto o = enabled();
+    o.sample_dt = 0.0;
+    expect_bad(o);
+  }
+  {
+    auto o = enabled();
+    o.capacity = 0;
+    expect_bad(o);
+  }
+  {
+    auto o = enabled();
+    o.objective = 1.0;
+    expect_bad(o);
+  }
+  {
+    auto o = enabled();
+    o.fast_window = 600.0;
+    o.slow_window = 300.0;  // slow < fast.
+    expect_bad(o);
+  }
+  {
+    auto o = enabled();
+    // Slow window needs more samples than the ring retains.
+    o.sample_dt = 1.0;
+    o.capacity = 16;
+    o.slow_window = 3600.0;
+    expect_bad(o);
+  }
+  {
+    auto o = enabled();
+    o.clear_samples = 0;
+    expect_bad(o);
+  }
+}
+
+// A sampler tuned so the alert dynamics run in a handful of samples: dt=10s,
+// fast window 3 samples, slow window 6 samples, 30-minute SLO, 90% objective
+// (error budget 0.1), threshold 2 => both windows need >20% bad completions.
+TimeseriesOptions SmallAlertOptions() {
+  TimeseriesOptions o;
+  o.enabled = true;
+  o.sample_dt = 10.0;
+  o.capacity = 64;
+  o.slo_minutes = 30.0;
+  o.objective = 0.9;
+  o.fast_window = 30.0;
+  o.slow_window = 60.0;
+  o.burn_threshold = 2.0;
+  o.clear_factor = 0.5;
+  o.clear_samples = 2;
+  return o;
+}
+
+TEST(SloTimeseriesTest, AlertFiresOnSustainedBadCompletionsAndClears) {
+  SloTimeseries ts(SmallAlertOptions());
+  SloSampleInput in;
+
+  // Phase 1: all completions miss the 30-minute SLO. Burn in both windows
+  // goes to 1/(1-0.9) = 10 > 2 once the slow window fills with bad samples.
+  SimTime now = 0.0;
+  for (int s = 0; s < 8; ++s) {
+    now += 10.0;
+    ts.ObserveCompletion(now, /*duration_seconds=*/3600.0);  // Bad.
+    ts.SampleUpTo(now, in);
+  }
+  ASSERT_EQ(ts.alerts_fired(), 1);
+  EXPECT_TRUE(ts.alerts()[0].active());
+  EXPECT_GT(ts.alerts()[0].burn_fast, 2.0);
+  EXPECT_GT(ts.alerts()[0].burn_slow, 2.0);
+  EXPECT_GT(ts.burn_fast(), 2.0);
+
+  // Phase 2: healthy completions push the bad fraction down; after both
+  // burns sit below threshold*clear_factor for clear_samples consecutive
+  // samples the alert clears — and does not re-fire.
+  for (int s = 0; s < 12; ++s) {
+    now += 10.0;
+    ts.ObserveCompletion(now, /*duration_seconds=*/60.0);  // Good.
+    ts.SampleUpTo(now, in);
+  }
+  ASSERT_EQ(ts.alerts_fired(), 1);
+  EXPECT_FALSE(ts.alerts()[0].active());
+  EXPECT_GT(ts.alerts()[0].cleared_at, ts.alerts()[0].fired_at);
+  EXPECT_LT(ts.burn_fast(), 1.0);
+}
+
+TEST(SloTimeseriesTest, BriefBlipDoesNotFire) {
+  // One bad sample spikes the fast window but the slow window stays calm;
+  // the dual-window condition suppresses the page.
+  SloTimeseries ts(SmallAlertOptions());
+  SloSampleInput in;
+  SimTime now = 0.0;
+  for (int s = 0; s < 6; ++s) {
+    now += 10.0;
+    ts.ObserveCompletion(now, 60.0);
+    ts.SampleUpTo(now, in);
+  }
+  now += 10.0;
+  ts.ObserveCompletion(now, 3600.0);  // One bad completion.
+  ts.SampleUpTo(now, in);
+  for (int s = 0; s < 6; ++s) {
+    now += 10.0;
+    ts.ObserveCompletion(now, 60.0);
+    ts.SampleUpTo(now, in);
+  }
+  EXPECT_EQ(ts.alerts_fired(), 0);
+}
+
+TEST(SloTimeseriesTest, CounterDeltasAndGapSamples) {
+  SloTimeseries ts(SmallAlertOptions());
+  SloSampleInput in;
+  in.offered = 5;
+  in.accepted = 5;
+  ts.SampleUpTo(10.0, in);  // One boundary at t=10.
+  // A long gap: cumulative counters advance once, but four Δt boundaries
+  // elapse — the delta lands on the first and the rest see zero.
+  in.offered = 9;
+  in.accepted = 8;
+  in.rejected = 1;
+  ts.SampleUpTo(50.0, in);
+  ASSERT_EQ(ts.samples(), 5);
+  const RingSeries* offered = ts.series("offered");
+  ASSERT_NE(offered, nullptr);
+  ASSERT_EQ(offered->size(), 5u);
+  double total = 0.0;
+  for (size_t i = 0; i < offered->size(); ++i) {
+    total += offered->at(i);
+  }
+  EXPECT_EQ(total, 9.0);  // Deltas re-sum to the cumulative counter.
+  EXPECT_EQ(offered->at(1), 4.0);
+  EXPECT_EQ(offered->at(2), 0.0);
+  EXPECT_EQ(ts.series("rejected")->at(1), 1.0);
+  EXPECT_EQ(ts.series("no_such_series"), nullptr);
+}
+
+TEST(SloTimeseriesTest, TrackedLinksGetPerLinkSeries) {
+  SloTimeseries ts(SmallAlertOptions());
+  ts.SetTrackedLinks({LinkId(3), LinkId(7)});
+  SloSampleInput in;
+  in.link_utilization = {0.25, 0.75};
+  ts.SampleUpTo(10.0, in);
+  ASSERT_NE(ts.series("link_util_3"), nullptr);
+  ASSERT_NE(ts.series("link_util_7"), nullptr);
+  EXPECT_EQ(ts.series("link_util_3")->Latest(), 0.25);
+  EXPECT_EQ(ts.series("link_util_7")->Latest(), 0.75);
+}
+
+TEST(SloTimeseriesTest, WriteJsonlEmitsMetaSeriesAndAlerts) {
+  SloTimeseries ts(SmallAlertOptions());
+  SloSampleInput in;
+  SimTime now = 0.0;
+  for (int s = 0; s < 8; ++s) {
+    now += 10.0;
+    ts.ObserveCompletion(now, 3600.0);
+    ts.SampleUpTo(now, in);
+  }
+  ASSERT_EQ(ts.alerts_fired(), 1);
+
+  std::string path = testing::TempDir() + "/slo_roundtrip.jsonl";
+  ASSERT_TRUE(ts.WriteJsonl(path).ok());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  int meta = 0, series = 0, alerts = 0;
+  while (std::getline(f, line)) {
+    if (line.find("\"kind\":\"meta\"") != std::string::npos) {
+      ++meta;
+      EXPECT_NE(line.find("\"schema\":\"bds-slo-v1\""), std::string::npos);
+      EXPECT_NE(line.find("\"samples\":8"), std::string::npos);
+    } else if (line.find("\"kind\":\"series\"") != std::string::npos) {
+      ++series;
+      EXPECT_NE(line.find("\"first_index\""), std::string::npos);
+      EXPECT_NE(line.find("\"values\":["), std::string::npos);
+    } else if (line.find("\"kind\":\"alert\"") != std::string::npos) {
+      ++alerts;
+      EXPECT_NE(line.find("\"fired_at\""), std::string::npos);
+    } else {
+      ADD_FAILURE() << "unexpected line: " << line;
+    }
+  }
+  EXPECT_EQ(meta, 1);
+  // The 15 base series (no tracked links configured here).
+  EXPECT_EQ(series, 15);
+  EXPECT_EQ(alerts, 1);
+  std::remove(path.c_str());
+}
+
+// --- Flight recorder retention. ---
+
+TEST(FlightRecorderRetentionTest, InterestingJournalsSurviveEviction) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  FlightRecorderOptions o;
+  o.max_transfers = 4;
+  fr.Start(o);
+
+  // Jobs 1..3: fast, boring completions (eviction fodder). Job 10: rejected.
+  // Job 11: fault-touched slow completion. Then jobs 20..21 arrive with the
+  // table full — the fastest boring journals must be evicted for them, while
+  // the rejected and faulted journals survive.
+  for (JobId j : {JobId(1), JobId(2), JobId(3)}) {
+    fr.Arrival(j, 0.0, 0, 1, 4, 1e6);
+    fr.Completion(j, 10.0 + j, 10.0 + j);
+  }
+  fr.Arrival(JobId(10), 1.0, 0, 1, 4, 1e6);
+  fr.AdmissionVerdict(JobId(10), 1.0, "reject", "max_backlog_cycles", 500);
+  fr.Arrival(JobId(11), 2.0, 0, 2, 8, 2e6);
+  fr.FaultHit(JobId(11), 50.0, "link_down", 3);
+  fr.Completion(JobId(11), 400.0, 398.0);
+
+  EXPECT_EQ(fr.num_transfers(), 4u);  // Already at cap: one boring evicted.
+  fr.Arrival(JobId(20), 60.0, 1, 1, 2, 5e5);
+  fr.Arrival(JobId(21), 61.0, 1, 1, 2, 5e5);
+  fr.Stop();
+
+  EXPECT_EQ(fr.num_transfers(), 4u);
+  EXPECT_GT(fr.evicted_transfers(), 0);
+  std::vector<FlightJournal> journals = fr.Journals();
+  bool saw_rejected = false, saw_faulted = false;
+  for (const FlightJournal& j : journals) {
+    if (j.job == JobId(10)) {
+      saw_rejected = true;
+      EXPECT_TRUE(j.rejected);
+    }
+    if (j.job == JobId(11)) {
+      saw_faulted = true;
+      EXPECT_TRUE(j.fault_touched);
+      EXPECT_TRUE(j.completed);
+    }
+  }
+  EXPECT_TRUE(saw_rejected);
+  EXPECT_TRUE(saw_faulted);
+}
+
+TEST(FlightRecorderRetentionTest, PerJournalEventCapCountsDrops) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  FlightRecorderOptions o;
+  o.max_events_per_transfer = 8;
+  fr.Start(o);
+  fr.Arrival(JobId(1), 0.0, 0, 1, 4, 1e6);
+  for (int i = 0; i < 20; ++i) {
+    fr.Schedule(JobId(1), 1.0 + i, i, "normal", 0, 1, 1e6, 2);
+  }
+  fr.Stop();
+  std::vector<FlightJournal> journals = fr.Journals();
+  ASSERT_EQ(journals.size(), 1u);
+  EXPECT_EQ(journals[0].events.size(), 8u);
+  EXPECT_EQ(journals[0].dropped_events, 13);  // 21 offered, 8 kept.
+  EXPECT_EQ(fr.dropped_events(), 13);
+}
+
+TEST(FlightRecorderRetentionTest, RateEventBudgetIsGlobalAndCounted) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  FlightRecorderOptions o;
+  o.max_rate_events = 5;
+  fr.Start(o);
+  fr.Arrival(JobId(1), 0.0, 0, 1, 4, 1e6);
+  for (int i = 0; i < 12; ++i) {
+    fr.RateChange(JobId(1), 1.0 + i, 1e6, 2e6);
+  }
+  fr.Stop();
+  EXPECT_EQ(fr.rate_events_dropped(), 7);
+  std::vector<FlightJournal> journals = fr.Journals();
+  ASSERT_EQ(journals.size(), 1u);
+  EXPECT_EQ(journals[0].events.size(), 6u);  // Arrival + 5 budgeted changes.
+}
+
+TEST(FlightRecorderRetentionTest, InactiveRecorderRecordsNothing) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Start();
+  fr.Stop();
+  fr.Arrival(JobId(5), 0.0, 0, 1, 4, 1e6);
+  fr.Completion(JobId(5), 9.0, 9.0);
+  EXPECT_EQ(fr.num_transfers(), 0u);
+  EXPECT_EQ(fr.num_events(), 0);
+}
+
+TEST(FlightRecorderRetentionTest, WriteJsonlSchema) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Start();
+  fr.Arrival(JobId(3), 0.0, 0, 2, 6, 1.5e6);
+  fr.AdmissionVerdict(JobId(3), 0.0, "accept", "under_budget", 2);
+  fr.Schedule(JobId(3), 3.0, 1, "normal", 0, 4, 2e6, 3);
+  fr.Completion(JobId(3), 30.0, 30.0);
+  fr.Retire(JobId(3), 33.0);
+  fr.Stop();
+
+  std::string path = testing::TempDir() + "/flight_roundtrip.jsonl";
+  ASSERT_TRUE(fr.WriteJsonl(path).ok());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(f, line));
+  EXPECT_NE(line.find("\"schema\":\"bds-flight-v1\""), std::string::npos);
+  EXPECT_NE(line.find("\"transfers\":1"), std::string::npos);
+  ASSERT_TRUE(std::getline(f, line));
+  EXPECT_NE(line.find("\"kind\":\"transfer\""), std::string::npos);
+  EXPECT_NE(line.find("\"job\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"e\":\"arrival\""), std::string::npos);
+  EXPECT_NE(line.find("\"e\":\"completion\""), std::string::npos);
+  EXPECT_NE(line.find("\"rung\":\"normal\""), std::string::npos);
+  EXPECT_FALSE(std::getline(f, line)) << "extra line: " << line;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace bds

@@ -171,6 +171,33 @@ def compare_large(baseline_data, fresh_data, threshold):
     return len(common), failures
 
 
+TELEMETRY_OVERHEAD_MAX = 1.03
+
+
+def compare_telemetry_overhead(fresh_data):
+    """Gate on the all-on telemetry tax measured by the bench itself: the
+    fresh run's telemetry_overhead.ratio (instrumented / off CPU on the
+    1e5-flow incremental drain) must stay within TELEMETRY_OVERHEAD_MAX.
+    This is a fresh-run-only absolute gate — the contract is a property of
+    the code, not a comparison against the committed numbers. Returns
+    (compared, failures)."""
+    section = fresh_data.get("telemetry_overhead")
+    if not section:
+        return 0, []
+    ratio = section.get("ratio", 1.0)
+    off = section.get("off_cpu_seconds", 0.0)
+    on = section.get("on_cpu_seconds", 0.0)
+    flag = ""
+    failures = []
+    if ratio > TELEMETRY_OVERHEAD_MAX:
+        failures.append((section.get("flows", 0), off, on, ratio))
+        flag = "  REGRESSION"
+    print(f"\ntelemetry overhead (all-on vs off, {section.get('flows', 0)} flows):")
+    print(f"  off {off * 1e3:.1f} ms, on {on * 1e3:.1f} ms, ratio {ratio:.3f}x "
+          f"(max {TELEMETRY_OVERHEAD_MAX:.2f}x){flag}")
+    return 1, failures
+
+
 def compare_amortized(baseline_data, fresh_data, threshold):
     """Cross-cycle gate for the "steady_cycles" section (see the comment on
     WARM_OVER_COLD_MAX). Returns (compared, failures) where failures is a
@@ -330,6 +357,12 @@ def main():
     if fresh_data.get("telemetry_enabled", False):
         raise SystemExit(f"{fresh_path}: fresh run had telemetry enabled; "
                          "bench timings must be taken with telemetry off")
+    # The flight recorder is held to the same contract: the gated sweep points
+    # must time the recorder-off fast path (the telemetry_overhead section is
+    # the one place the instrumented path is measured, deliberately).
+    if fresh_data.get("flight_recorder_enabled", False):
+        raise SystemExit(f"{fresh_path}: fresh run had the flight recorder "
+                         "enabled; bench timings must be taken with it off")
     # Same reasoning for warm start: the sweep sections time the cold path
     # (steady_cycles carries its own in-section warm_start stamp), so a
     # header-level warm_start=true means the harness quietly warmed the
@@ -405,9 +438,11 @@ def main():
 
     large_compared, large_failures = compare_large(baseline_data, fresh_data,
                                                    args.large_threshold)
+    overhead_compared, overhead_failures = compare_telemetry_overhead(fresh_data)
     amortized_compared, amortized_failures = compare_amortized(
         baseline_data, fresh_data, args.large_threshold)
-    if compared == 0 and large_compared == 0 and amortized_compared == 0:
+    if compared == 0 and large_compared == 0 and amortized_compared == 0 \
+            and overhead_compared == 0:
         print("error: no gateable configs common to the two files", file=sys.stderr)
         return 2
     if failures:
@@ -426,11 +461,18 @@ def main():
               file=sys.stderr)
         for failure in amortized_failures:
             print(f"  {failure}", file=sys.stderr)
-    if failures or large_failures or amortized_failures:
+    if overhead_failures:
+        print(f"\ntelemetry overhead beyond {TELEMETRY_OVERHEAD_MAX:.2f}x:",
+              file=sys.stderr)
+        for flows, off, on, ratio in overhead_failures:
+            print(f"  {flows} flows: {off:.3f}s off -> {on:.3f}s all-on "
+                  f"({ratio:.3f}x)", file=sys.stderr)
+    if failures or large_failures or amortized_failures or overhead_failures:
         return 1
     print(f"\nOK: {compared} configs"
           + (f" + {large_compared} large points" if large_compared else "")
           + (f" + {amortized_compared} amortized checks" if amortized_compared else "")
+          + (f" + {overhead_compared} overhead check" if overhead_compared else "")
           + f" within tolerance of the committed baseline")
     return 0
 

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Render a bds-slo-v1 time-series JSONL as a text dashboard.
+
+Usage:
+    tools/slo_dashboard.py RUN.jsonl [--series NAME] [--width N]
+    tools/slo_dashboard.py --self-test
+
+RUN.jsonl is the file written by SloTimeseries::WriteJsonl (steady-state runs
+with `quickstart --slo-json=...`). The dashboard prints one row per series —
+min / mean / max / last plus a unicode sparkline over the retained window —
+followed by the burn-rate alert log with fire and clear times. Series whose
+ring wrapped are marked with the number of dropped (oldest) samples.
+
+`--series NAME` dumps one series as `t value` pairs for plotting.
+"""
+
+import argparse
+import json
+import sys
+
+SPARKS = " ▁▂▃▄▅▆▇█"
+
+
+def fail(msg):
+    print(f"slo_dashboard: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    meta = None
+    series = []
+    alerts = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for i, line in enumerate(f):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{i + 1}: not JSON: {e}")
+                kind = rec.get("kind")
+                if kind == "meta":
+                    if rec.get("schema") != "bds-slo-v1":
+                        fail(f"{path}: unsupported schema {rec.get('schema')!r}")
+                    meta = rec
+                elif kind == "series":
+                    series.append(rec)
+                elif kind == "alert":
+                    alerts.append(rec)
+                else:
+                    fail(f"{path}:{i + 1}: unknown kind {kind!r}")
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if meta is None:
+        fail(f"{path}: missing bds-slo-v1 meta line")
+    return meta, series, alerts
+
+
+def sparkline(values, width):
+    if not values:
+        return ""
+    # Downsample by max within each bucket: spikes are the point of a
+    # dashboard, so they must survive the shrink.
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [max(values[int(i * bucket):max(int(i * bucket) + 1,
+                                                 int((i + 1) * bucket))])
+                  for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0.0:
+        return SPARKS[1] * len(values)
+    return "".join(
+        SPARKS[1 + int((v - lo) / span * (len(SPARKS) - 2))] for v in values)
+
+
+def fmt(v):
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e5 or abs(v) < 1e-3:
+        return f"{v:.3g}"
+    return f"{v:.3f}".rstrip("0").rstrip(".")
+
+
+def fmt_t(t):
+    if t >= 3600:
+        return f"{t / 3600:.2f}h"
+    if t >= 60:
+        return f"{t / 60:.1f}m"
+    return f"{t:.0f}s"
+
+
+def dashboard(meta, series, alerts, width):
+    dt = meta.get("dt", 0)
+    print(f"bds-slo-v1: {meta.get('samples')} samples @ dt={fmt(dt)}s "
+          f"(capacity {meta.get('capacity')}), SLO: {meta.get('objective')} of "
+          f"transfers within {meta.get('slo_minutes')} min, burn threshold "
+          f"{meta.get('burn_threshold')}x over {fmt_t(meta.get('fast_window', 0))}"
+          f"/{fmt_t(meta.get('slow_window', 0))} windows")
+    print(f"\n{'series':<20} {'min':>10} {'mean':>10} {'max':>10} {'last':>10}"
+          f"  trend")
+    for s in sorted(series, key=lambda s: s["name"]):
+        vals = s.get("values", [])
+        if not vals:
+            continue
+        mark = f" (-{s['dropped']})" if s.get("dropped", 0) > 0 else ""
+        print(f"{s['name'] + mark:<20} {fmt(min(vals)):>10} "
+              f"{fmt(sum(vals) / len(vals)):>10} {fmt(max(vals)):>10} "
+              f"{fmt(vals[-1]):>10}  {sparkline(vals, width)}")
+
+    print(f"\nalerts: {len(alerts)}")
+    for a in alerts:
+        cleared = (f"cleared {fmt_t(a['cleared_at'])}"
+                   if a.get("cleared_at", -1.0) >= 0.0 else "STILL ACTIVE")
+        print(f"  fired {fmt_t(a.get('fired_at', 0.0))} "
+              f"(sample {a.get('fired_sample')}), {cleared}: "
+              f"burn_fast={a.get('burn_fast', 0.0):.2f} "
+              f"burn_slow={a.get('burn_slow', 0.0):.2f}")
+    return 0
+
+
+def dump_series(meta, series, name):
+    match = [s for s in series if s["name"] == name]
+    if not match:
+        have = ", ".join(sorted(s["name"] for s in series))
+        fail(f"no series {name!r} (have: {have})")
+    s = match[0]
+    dt = meta.get("dt", 1.0)
+    first = s.get("first_index", 0)
+    for i, v in enumerate(s.get("values", [])):
+        print(f"{(first + i) * dt:.1f} {v!r}")
+    return 0
+
+
+def self_test():
+    import io
+    import tempfile
+    lines = [
+        {"kind": "meta", "schema": "bds-slo-v1", "dt": 30, "samples": 6,
+         "capacity": 4, "slo_minutes": 30, "objective": 0.99,
+         "burn_threshold": 2.0, "fast_window": 300, "slow_window": 3600,
+         "alerts": 1},
+        # Ring of 4 wrapped: first two samples dropped.
+        {"kind": "series", "name": "burn_fast", "first_index": 2,
+         "dropped": 2, "values": [0.0, 2.5, 3.0, 1.0]},
+        {"kind": "series", "name": "active_flows", "first_index": 2,
+         "dropped": 2, "values": [5, 5, 5, 5]},
+        {"kind": "alert", "fired_at": 120.0, "cleared_at": 150.0,
+         "fired_sample": 4, "burn_fast": 3.0, "burn_slow": 2.2},
+    ]
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as f:
+        for line in lines:
+            f.write(json.dumps(line) + "\n")
+        path = f.name
+
+    meta, series, alerts = load(path)
+    assert len(series) == 2 and len(alerts) == 1
+
+    out, sys.stdout = sys.stdout, io.StringIO()
+    try:
+        dashboard(meta, series, alerts, width=40)
+        text = sys.stdout.getvalue()
+    finally:
+        sys.stdout = out
+    for needle in ("6 samples", "burn_fast (-2)", "alerts: 1",
+                   "fired 2.0m", "cleared 2.5m", "burn_fast=3.00"):
+        assert needle in text, f"missing {needle!r} in:\n{text}"
+    # Flat series renders a flat sparkline; varying one does not.
+    flat = [l for l in text.splitlines() if l.startswith("active_flows")][0]
+    vary = [l for l in text.splitlines() if l.startswith("burn_fast")][0]
+    assert len(set(flat.split()[-1])) == 1, flat
+    assert len(set(vary.split()[-1])) > 1, vary
+
+    assert sparkline([], 10) == ""
+    assert len(sparkline(list(range(100)), 10)) == 10
+    assert sparkline([1.0, 1.0], 10) == SPARKS[1] * 2
+
+    out, sys.stdout = sys.stdout, io.StringIO()
+    try:
+        dump_series(meta, series, "burn_fast")
+        text = sys.stdout.getvalue()
+    finally:
+        sys.stdout = out
+    assert text.splitlines()[0] == "60.0 0.0", text  # first_index 2 * dt 30
+
+    print("slo_dashboard self-test: OK")
+    return 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run", help="bds-slo-v1 JSONL file")
+    parser.add_argument("--series", help="dump one series as `t value` pairs")
+    parser.add_argument("--width", type=int, default=60,
+                        help="sparkline width (default 60)")
+    opts = parser.parse_args()
+    meta, series, alerts = load(opts.run)
+    if opts.series:
+        return dump_series(meta, series, opts.series)
+    return dashboard(meta, series, alerts, opts.width)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

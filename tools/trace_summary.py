@@ -3,6 +3,11 @@
 
 Usage:
     tools/trace_summary.py TRACE.json [--quiet] [--max-dropped N]
+    tools/trace_summary.py --self-test
+
+A run that dropped trace events (ring overflow) still validates, but a
+WARNING goes to stderr: totals in the tables are undercounts. Pass
+--max-dropped 0 to turn the warning into a failure.
 
 Checks (exit 1 on the first violation):
   * top-level object with a `traceEvents` list and `otherData.dropped_events`
@@ -64,7 +69,53 @@ def validate_event(i: int, ev) -> None:
         fail(f"traceEvents[{i}] args must be an object")
 
 
+def self_test() -> int:
+    """Round-trips a synthetic trace through the validator: a clean file must
+    pass quietly, a dropped-events file must warn, and a malformed event must
+    fail. Exercised under ctest so the tool can't rot silently."""
+    import io
+    import tempfile
+
+    def run(doc, argv_extra=()):
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+            json.dump(doc, f)
+            path = f.name
+        old_err, sys.stderr = sys.stderr, io.StringIO()
+        old_out, sys.stdout = sys.stdout, io.StringIO()
+        code = 0
+        try:
+            code = check(path, quiet=True, max_dropped=None)
+        except SystemExit as e:
+            code = e.code if isinstance(e.code, int) else 1
+        finally:
+            err = sys.stderr.getvalue()
+            sys.stderr = old_err
+            sys.stdout = old_out
+        return code, err
+
+    span = {"name": "solve", "cat": "fptas", "ph": "X",
+            "pid": 1, "tid": 1, "ts": 0, "dur": 5}
+    clean = {"traceEvents": [span], "otherData": {"dropped_events": 0}}
+    code, err = run(clean)
+    assert code == 0 and "WARNING" not in err, (code, err)
+
+    dropped = {"traceEvents": [span], "otherData": {"dropped_events": 7}}
+    code, err = run(dropped)
+    assert code == 0 and "WARNING" in err and "7" in err, (code, err)
+
+    bad = {"traceEvents": [{"name": "x", "cat": "c", "ph": "?",
+                            "pid": 1, "tid": 1, "ts": 0}],
+           "otherData": {"dropped_events": 0}}
+    code, err = run(bad)
+    assert code == 1 and "INVALID" in err, (code, err)
+
+    print("trace_summary self-test: OK")
+    return 0
+
+
 def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace_event JSON file")
     parser.add_argument("--quiet", action="store_true", help="validate only, no table")
@@ -75,6 +126,16 @@ def main() -> int:
         help="fail if more than this many events were dropped",
     )
     opts = parser.parse_args()
+    return check(opts.trace, quiet=opts.quiet, max_dropped=opts.max_dropped)
+
+
+def check(trace: str, quiet: bool, max_dropped) -> int:
+    class Opts:
+        pass
+    opts = Opts()
+    opts.trace = trace
+    opts.quiet = quiet
+    opts.max_dropped = max_dropped
 
     try:
         with open(opts.trace, "r", encoding="utf-8") as f:
@@ -95,6 +156,12 @@ def main() -> int:
         fail(f"bad dropped_events {dropped!r}")
     if opts.max_dropped is not None and dropped > opts.max_dropped:
         fail(f"{dropped} events dropped (max allowed {opts.max_dropped})")
+    if dropped > 0:
+        # The ring overflowed: the file is valid but incomplete, so every
+        # count/total below is an undercount. Loud, on stderr, every time.
+        print(f"trace_summary: WARNING: {dropped} trace events were dropped "
+              f"(ring overflow) — span/instant totals are undercounts",
+              file=sys.stderr)
 
     spans = collections.defaultdict(lambda: {"count": 0, "total_us": 0.0})
     instants = collections.Counter()
